@@ -1,0 +1,39 @@
+#pragma once
+// Shared helpers for the experiment harnesses: consistent study options,
+// stable-line handling and table printing.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/link.hpp"
+#include "streams/word_stream.hpp"
+
+namespace tsvcod::bench {
+
+/// Study options with a reproducible, adequately sized annealing budget.
+inline core::StudyOptions default_study(unsigned seed = 1) {
+  core::StudyOptions so;
+  so.random_samples = 300;
+  so.optimize.schedule.iterations = 15000;
+  so.optimize.schedule.restarts = 3;
+  so.optimize.seed = seed;
+  return so;
+}
+
+/// Per-bit inversion permissions for a payload stream of `payload_width`
+/// followed by stable lines (power/ground lines must not be inverted).
+inline std::vector<std::uint8_t> invert_mask(std::size_t payload_width,
+                                             const std::vector<streams::StableLine>& lines) {
+  std::vector<std::uint8_t> mask(payload_width, 1);
+  for (const auto& l : lines) mask.push_back(l.invertible ? 1 : 0);
+  return mask;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!paper_note.empty()) std::printf("paper: %s\n", paper_note.c_str());
+}
+
+}  // namespace tsvcod::bench

@@ -1,0 +1,66 @@
+// Robustness study (design-time question the paper leaves implicit): the
+// assignment is fixed at design time from *sample* statistics — how much of
+// the gain survives when the deployed data differs? We optimize on one
+// realization and price the result on (a) a different seed of the same
+// process, (b) a distribution shift (different sigma / correlation), and
+// (c) a different signal class entirely.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "streams/image_sensor.hpp"
+#include "streams/random_streams.hpp"
+
+using namespace tsvcod;
+
+namespace {
+
+stats::SwitchingStats measure(streams::WordStream& s, const core::Link& link) {
+  return link.measure(s, 50000);
+}
+
+void evaluate(const char* name, const stats::SwitchingStats& deploy, const core::Link& link,
+              const core::SignedPermutation& design_time) {
+  const auto base = core::random_assignment_power(deploy, link.model(), 300);
+  const double stale = link.power(deploy, design_time);
+  auto opts = bench::default_study().optimize;
+  const auto fresh = core::optimize_assignment(deploy, link.model(), opts);
+  std::printf("%-34s stale %5.1f %%   fresh %5.1f %%   retained %4.0f %%\n", name,
+              core::reduction_pct(base.mean, stale), core::reduction_pct(base.mean, fresh.power),
+              100.0 * core::reduction_pct(base.mean, stale) /
+                  std::max(1e-9, core::reduction_pct(base.mean, fresh.power)));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Robustness: design-time assignment on shifted deployment data (4x4 r2/d8)",
+                      "how much gain survives statistics drift");
+
+  const auto geom = phys::TsvArrayGeometry::itrs2018_relaxed(4, 4);
+  const core::Link link(geom);
+
+  streams::GaussianAr1Stream design(16, 800.0, 0.5, 1);
+  const auto st_design = measure(design, link);
+  auto opts = bench::default_study().optimize;
+  const auto assignment = core::optimize_assignment(st_design, link.model(), opts).assignment;
+
+  {
+    streams::GaussianAr1Stream s(16, 800.0, 0.5, 99);
+    evaluate("same process, new seed", measure(s, link), link, assignment);
+  }
+  {
+    streams::GaussianAr1Stream s(16, 2400.0, 0.5, 99);
+    evaluate("3x larger sigma", measure(s, link), link, assignment);
+  }
+  {
+    streams::GaussianAr1Stream s(16, 800.0, -0.5, 99);
+    evaluate("correlation sign flipped", measure(s, link), link, assignment);
+  }
+  {
+    streams::SequentialStream s(16, 0.05, 99);
+    evaluate("different class: addresses", measure(s, link), link, assignment);
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+#include "circuit/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvcod::circuit {
+
+namespace {
+
+constexpr int kGround = Netlist::kGround;
+
+}  // namespace
+
+TransientSim::TransientSim(const Netlist& netlist, double dt) : net_(netlist), dt_(dt) {
+  if (!(dt > 0.0)) throw std::invalid_argument("TransientSim: dt must be positive");
+  n_nodes_ = net_.node_count();
+  n_src_ = static_cast<int>(net_.sources().size());
+  n_ind_ = static_cast<int>(net_.inductors().size());
+  dim_ = n_nodes_ + n_src_ + n_ind_;
+  if (dim_ == 0) throw std::invalid_argument("TransientSim: empty netlist");
+  x_.assign(static_cast<std::size_t>(dim_), 0.0);
+  rhs_.assign(static_cast<std::size_t>(dim_), 0.0);
+  cap_v_.assign(net_.capacitors().size(), 0.0);
+  src_energy_.assign(static_cast<std::size_t>(n_src_), 0.0);
+  src_charge_pos_.assign(static_cast<std::size_t>(n_src_), 0.0);
+  assemble();
+  factorize();
+}
+
+void TransientSim::assemble() {
+  lu_ = phys::Matrix(static_cast<std::size_t>(dim_), static_cast<std::size_t>(dim_));
+  const auto idx = [](int node) { return static_cast<std::size_t>(node - 1); };
+  const auto stamp_conductance = [&](int a, int b, double g) {
+    if (a != kGround) lu_(idx(a), idx(a)) += g;
+    if (b != kGround) lu_(idx(b), idx(b)) += g;
+    if (a != kGround && b != kGround) {
+      lu_(idx(a), idx(b)) -= g;
+      lu_(idx(b), idx(a)) -= g;
+    }
+  };
+  for (const auto& r : net_.resistors()) stamp_conductance(r.a, r.b, 1.0 / r.ohms);
+  for (const auto& c : net_.capacitors()) stamp_conductance(c.a, c.b, c.farads / dt_);
+
+  for (int s = 0; s < n_src_; ++s) {
+    const auto& src = net_.sources()[static_cast<std::size_t>(s)];
+    const std::size_t row = static_cast<std::size_t>(n_nodes_ + s);
+    if (src.plus != kGround) {
+      lu_(row, idx(src.plus)) = 1.0;
+      lu_(idx(src.plus), row) = 1.0;
+    }
+    if (src.minus != kGround) {
+      lu_(row, idx(src.minus)) = -1.0;
+      lu_(idx(src.minus), row) = -1.0;
+    }
+  }
+  for (int l = 0; l < n_ind_; ++l) {
+    const auto& ind = net_.inductors()[static_cast<std::size_t>(l)];
+    const std::size_t row = static_cast<std::size_t>(n_nodes_ + n_src_ + l);
+    if (ind.a != kGround) {
+      lu_(row, idx(ind.a)) = 1.0;
+      lu_(idx(ind.a), row) = 1.0;
+    }
+    if (ind.b != kGround) {
+      lu_(row, idx(ind.b)) = -1.0;
+      lu_(idx(ind.b), row) = -1.0;
+    }
+    lu_(row, row) = -ind.henries / dt_;
+  }
+}
+
+void TransientSim::factorize() {
+  const int n = dim_;
+  pivot_.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    // Partial pivoting.
+    int p = k;
+    double best = std::abs(lu_(static_cast<std::size_t>(k), static_cast<std::size_t>(k)));
+    for (int r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(static_cast<std::size_t>(r), static_cast<std::size_t>(k)));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("TransientSim: singular MNA matrix");
+    pivot_[static_cast<std::size_t>(k)] = p;
+    if (p != k) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(lu_(static_cast<std::size_t>(k), static_cast<std::size_t>(c)),
+                  lu_(static_cast<std::size_t>(p), static_cast<std::size_t>(c)));
+      }
+    }
+    const double pivot = lu_(static_cast<std::size_t>(k), static_cast<std::size_t>(k));
+    for (int r = k + 1; r < n; ++r) {
+      const double f = lu_(static_cast<std::size_t>(r), static_cast<std::size_t>(k)) / pivot;
+      lu_(static_cast<std::size_t>(r), static_cast<std::size_t>(k)) = f;
+      if (f == 0.0) continue;
+      for (int c = k + 1; c < n; ++c) {
+        lu_(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) -=
+            f * lu_(static_cast<std::size_t>(k), static_cast<std::size_t>(c));
+      }
+    }
+  }
+}
+
+void TransientSim::solve_step() {
+  const int n = dim_;
+  // Apply row permutation, then forward/back substitution.
+  for (int k = 0; k < n; ++k) {
+    const int p = pivot_[static_cast<std::size_t>(k)];
+    if (p != k) std::swap(rhs_[static_cast<std::size_t>(k)], rhs_[static_cast<std::size_t>(p)]);
+    for (int c = 0; c < k; ++c) {
+      rhs_[static_cast<std::size_t>(k)] -=
+          lu_(static_cast<std::size_t>(k), static_cast<std::size_t>(c)) *
+          rhs_[static_cast<std::size_t>(c)];
+    }
+  }
+  for (int k = n - 1; k >= 0; --k) {
+    double v = rhs_[static_cast<std::size_t>(k)];
+    for (int c = k + 1; c < n; ++c) {
+      v -= lu_(static_cast<std::size_t>(k), static_cast<std::size_t>(c)) *
+           rhs_[static_cast<std::size_t>(c)];
+    }
+    rhs_[static_cast<std::size_t>(k)] =
+        v / lu_(static_cast<std::size_t>(k), static_cast<std::size_t>(k));
+  }
+  x_ = rhs_;
+}
+
+double TransientSim::node_voltage(int node) const {
+  if (node == kGround) return 0.0;
+  if (node < 0 || node > n_nodes_) throw std::invalid_argument("node_voltage: unknown node");
+  return x_[static_cast<std::size_t>(node - 1)];
+}
+
+double TransientSim::source_current(int id) const {
+  if (id < 0 || id >= n_src_) throw std::invalid_argument("source_current: unknown source");
+  // The MNA branch current flows into the + terminal; delivered current is
+  // its negation.
+  return -x_[static_cast<std::size_t>(n_nodes_ + id)];
+}
+
+double TransientSim::source_energy(int id) const {
+  if (id < 0 || id >= n_src_) throw std::invalid_argument("source_energy: unknown source");
+  return src_energy_[static_cast<std::size_t>(id)];
+}
+
+double TransientSim::source_positive_charge(int id) const {
+  if (id < 0 || id >= n_src_) {
+    throw std::invalid_argument("source_positive_charge: unknown source");
+  }
+  return src_charge_pos_[static_cast<std::size_t>(id)];
+}
+
+void TransientSim::step() {
+  const double t_next = t_ + dt_;
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+  // Capacitor history currents (backward-Euler companion: G = C/dt).
+  for (std::size_t k = 0; k < net_.capacitors().size(); ++k) {
+    const auto& c = net_.capacitors()[k];
+    const double hist = c.farads / dt_ * cap_v_[k];
+    if (c.a != kGround) rhs_[static_cast<std::size_t>(c.a - 1)] += hist;
+    if (c.b != kGround) rhs_[static_cast<std::size_t>(c.b - 1)] -= hist;
+  }
+  // Source voltages at the new time.
+  std::vector<double> v_src(static_cast<std::size_t>(n_src_));
+  for (int s = 0; s < n_src_; ++s) {
+    v_src[static_cast<std::size_t>(s)] = net_.sources()[static_cast<std::size_t>(s)].v(t_next);
+    rhs_[static_cast<std::size_t>(n_nodes_ + s)] = v_src[static_cast<std::size_t>(s)];
+  }
+  // Inductor history (backward Euler: v = (L/dt)(i_new - i_old)).
+  for (int l = 0; l < n_ind_; ++l) {
+    const auto& ind = net_.inductors()[static_cast<std::size_t>(l)];
+    const double i_prev = x_[static_cast<std::size_t>(n_nodes_ + n_src_ + l)];
+    rhs_[static_cast<std::size_t>(n_nodes_ + n_src_ + l)] = -ind.henries / dt_ * i_prev;
+  }
+
+  // Previous source powers/currents for trapezoidal integration.
+  std::vector<double> p_prev(static_cast<std::size_t>(n_src_));
+  std::vector<double> i_prev(static_cast<std::size_t>(n_src_));
+  for (int s = 0; s < n_src_; ++s) {
+    const double v_old = net_.sources()[static_cast<std::size_t>(s)].v(t_);
+    i_prev[static_cast<std::size_t>(s)] = source_current(s);
+    p_prev[static_cast<std::size_t>(s)] = v_old * i_prev[static_cast<std::size_t>(s)];
+  }
+
+  solve_step();
+  t_ = t_next;
+
+  // Update capacitor voltage histories with the new node voltages.
+  for (std::size_t k = 0; k < net_.capacitors().size(); ++k) {
+    const auto& c = net_.capacitors()[k];
+    const double va = c.a == kGround ? 0.0 : x_[static_cast<std::size_t>(c.a - 1)];
+    const double vb = c.b == kGround ? 0.0 : x_[static_cast<std::size_t>(c.b - 1)];
+    cap_v_[k] = va - vb;
+  }
+  // Accumulate delivered energies and sourced charge (trapezoid).
+  for (int s = 0; s < n_src_; ++s) {
+    const double i_new = source_current(s);
+    const double p_new = v_src[static_cast<std::size_t>(s)] * i_new;
+    src_energy_[static_cast<std::size_t>(s)] +=
+        0.5 * (p_prev[static_cast<std::size_t>(s)] + p_new) * dt_;
+    src_charge_pos_[static_cast<std::size_t>(s)] +=
+        0.5 * (std::max(0.0, i_prev[static_cast<std::size_t>(s)]) + std::max(0.0, i_new)) * dt_;
+  }
+}
+
+void TransientSim::run_until(double t_end) {
+  while (t_ + 0.5 * dt_ < t_end) step();
+}
+
+}  // namespace tsvcod::circuit

@@ -1,0 +1,70 @@
+#include "coding/bus_invert.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tsvcod::coding {
+
+BusInvertCodec::BusInvertCodec(std::size_t width) : width_(width) {
+  if (width == 0 || width > 63) throw std::invalid_argument("BusInvertCodec: bad width");
+}
+
+std::uint64_t BusInvertCodec::encode(std::uint64_t word) {
+  word &= streams::width_mask(width_);
+  const int toggles = std::popcount(word ^ prev_out_);
+  const bool invert = toggles > static_cast<int>(width_) / 2;
+  const std::uint64_t data = invert ? (~word & streams::width_mask(width_)) : word;
+  prev_out_ = data;
+  return data | (static_cast<std::uint64_t>(invert) << width_);
+}
+
+std::uint64_t BusInvertCodec::decode(std::uint64_t code) {
+  const bool invert = (code >> width_) & 1u;
+  const std::uint64_t data = code & streams::width_mask(width_);
+  return invert ? (~data & streams::width_mask(width_)) : data;
+}
+
+void BusInvertCodec::reset() { prev_out_ = 0; }
+
+CouplingInvertCodec::CouplingInvertCodec(std::size_t width, double lambda)
+    : width_(width), lambda_(lambda) {
+  if (width == 0 || width > 63) throw std::invalid_argument("CouplingInvertCodec: bad width");
+  if (lambda < 0.0) throw std::invalid_argument("CouplingInvertCodec: lambda must be >= 0");
+}
+
+double CouplingInvertCodec::transition_cost(std::uint64_t from, std::uint64_t to) const {
+  const std::size_t lines = width_ + 1;  // data + flag, laid out side by side
+  double cost = 0.0;
+  int prev_db = 0;
+  for (std::size_t i = 0; i < lines; ++i) {
+    const int db = static_cast<int>((to >> i) & 1u) - static_cast<int>((from >> i) & 1u);
+    cost += static_cast<double>(db * db);
+    if (i > 0) {
+      const int d = db - prev_db;
+      cost += lambda_ * static_cast<double>(d * d);
+    }
+    prev_db = db;
+  }
+  return cost;
+}
+
+std::uint64_t CouplingInvertCodec::encode(std::uint64_t word) {
+  word &= streams::width_mask(width_);
+  const std::uint64_t plain = word;
+  const std::uint64_t flipped =
+      (~word & streams::width_mask(width_)) | (std::uint64_t{1} << width_);
+  const double cost_plain = transition_cost(prev_code_, plain);
+  const double cost_flipped = transition_cost(prev_code_, flipped);
+  prev_code_ = cost_flipped < cost_plain ? flipped : plain;
+  return prev_code_;
+}
+
+std::uint64_t CouplingInvertCodec::decode(std::uint64_t code) {
+  const bool invert = (code >> width_) & 1u;
+  const std::uint64_t data = code & streams::width_mask(width_);
+  return invert ? (~data & streams::width_mask(width_)) : data;
+}
+
+void CouplingInvertCodec::reset() { prev_code_ = 0; }
+
+}  // namespace tsvcod::coding

@@ -1,0 +1,30 @@
+#include "coding/gray.hpp"
+
+#include <stdexcept>
+
+namespace tsvcod::coding {
+
+GrayCodec::GrayCodec(std::size_t width, std::uint64_t inversion_mask)
+    : width_(width), mask_(inversion_mask & streams::width_mask(width)) {
+  if (width == 0 || width > 64) throw std::invalid_argument("GrayCodec: bad width");
+}
+
+std::uint64_t GrayCodec::binary_to_gray(std::uint64_t b) { return b ^ (b >> 1); }
+
+std::uint64_t GrayCodec::gray_to_binary(std::uint64_t g, std::size_t width) {
+  std::uint64_t b = 0;
+  for (std::size_t shift = 0; shift < width; ++shift) b ^= g >> shift;
+  return b & streams::width_mask(width);
+}
+
+std::uint64_t GrayCodec::encode(std::uint64_t word) {
+  word &= streams::width_mask(width_);
+  return (binary_to_gray(word) ^ mask_) & streams::width_mask(width_);
+}
+
+std::uint64_t GrayCodec::decode(std::uint64_t code) {
+  code = (code ^ mask_) & streams::width_mask(width_);
+  return gray_to_binary(code, width_);
+}
+
+}  // namespace tsvcod::coding

@@ -1,0 +1,47 @@
+#include "coding/t0.hpp"
+
+#include <stdexcept>
+
+namespace tsvcod::coding {
+
+T0Codec::T0Codec(std::size_t width, std::uint64_t stride) : width_(width), stride_(stride) {
+  if (width == 0 || width > 63) throw std::invalid_argument("T0Codec: bad width");
+  if (stride == 0) throw std::invalid_argument("T0Codec: stride must be nonzero");
+}
+
+std::uint64_t T0Codec::encode(std::uint64_t word) {
+  word &= streams::width_mask(width_);
+  const std::uint64_t inc_bit = std::uint64_t{1} << width_;
+  const bool in_sequence =
+      enc_primed_ && word == ((enc_last_value_ + stride_) & streams::width_mask(width_));
+  enc_last_value_ = word;
+  enc_primed_ = true;
+  if (in_sequence) {
+    return enc_frozen_lines_ | inc_bit;  // data lines frozen, INC set
+  }
+  enc_frozen_lines_ = word;
+  return word;
+}
+
+std::uint64_t T0Codec::decode(std::uint64_t code) {
+  const bool inc = (code >> width_) & 1u;
+  const std::uint64_t data = code & streams::width_mask(width_);
+  std::uint64_t value;
+  if (inc) {
+    if (!dec_primed_) throw std::logic_error("T0Codec: INC before any absolute value");
+    value = (dec_last_value_ + stride_) & streams::width_mask(width_);
+  } else {
+    value = data;
+  }
+  dec_last_value_ = value;
+  dec_primed_ = true;
+  return value;
+}
+
+void T0Codec::reset() {
+  enc_primed_ = dec_primed_ = false;
+  enc_last_value_ = dec_last_value_ = 0;
+  enc_frozen_lines_ = 0;
+}
+
+}  // namespace tsvcod::coding

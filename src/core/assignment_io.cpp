@@ -1,0 +1,99 @@
+#include "core/assignment_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tsvcod::core {
+
+namespace {
+
+constexpr const char* kMagic = "tsvcod-assignment";
+
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void save_assignment(std::ostream& os, const SignedPermutation& a) {
+  os << kMagic << " v1\n";
+  os << "# map <bit> <line> <inverted>\n";
+  os << "n " << a.size() << '\n';
+  for (std::size_t bit = 0; bit < a.size(); ++bit) {
+    os << "map " << bit << ' ' << a.line_of_bit(bit) << ' ' << (a.inverted(bit) ? 1 : 0) << '\n';
+  }
+}
+
+void save_assignment(const std::string& path, const SignedPermutation& a) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("assignment_io: cannot open for writing: " + path);
+  save_assignment(os, a);
+}
+
+SignedPermutation load_assignment(std::istream& is) {
+  std::string line;
+  if (!next_line(is, line) || line.rfind(kMagic, 0) != 0) {
+    throw std::runtime_error("assignment_io: missing magic header");
+  }
+  if (!next_line(is, line)) throw std::runtime_error("assignment_io: missing size");
+  std::istringstream ls(line);
+  std::string tag;
+  std::size_t n = 0;
+  ls >> tag >> n;
+  if (tag != "n" || n == 0 || n > 64) throw std::runtime_error("assignment_io: bad size");
+
+  std::vector<std::size_t> line_of_bit(n, n);  // n = unset sentinel
+  std::vector<std::uint8_t> inverted(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!next_line(is, line)) throw std::runtime_error("assignment_io: truncated map");
+    std::istringstream ms(line);
+    std::size_t bit = 0, l = 0;
+    int inv = 0;
+    ms >> tag >> bit >> l >> inv;
+    if (tag != "map" || bit >= n || l >= n || (inv != 0 && inv != 1)) {
+      throw std::runtime_error("assignment_io: bad map line: " + line);
+    }
+    if (line_of_bit[bit] != n) throw std::runtime_error("assignment_io: duplicate bit");
+    line_of_bit[bit] = l;
+    inverted[bit] = static_cast<std::uint8_t>(inv);
+  }
+  try {
+    return SignedPermutation(std::move(line_of_bit), std::move(inverted));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("assignment_io: invalid assignment: ") + e.what());
+  }
+}
+
+SignedPermutation load_assignment(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("assignment_io: cannot open: " + path);
+  return load_assignment(is);
+}
+
+std::string format_assignment_grid(const phys::TsvArrayGeometry& geom,
+                                   const SignedPermutation& a) {
+  if (geom.count() != a.size()) {
+    throw std::invalid_argument("format_assignment_grid: size mismatch");
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < geom.rows; ++r) {
+    for (std::size_t c = 0; c < geom.cols; ++c) {
+      const std::size_t bit = a.bit_of_line(geom.index(r, c));
+      os << (a.inverted(bit) ? '~' : ' ');
+      if (bit < 10) os << ' ';
+      os << bit << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tsvcod::core

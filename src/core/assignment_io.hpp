@@ -1,0 +1,33 @@
+#pragma once
+// Assignment persistence and pretty-printing.
+//
+// An optimized signed permutation is design-time output that must reach the
+// floorplan/netlist scripts; this module writes it as a text file and
+// renders the array-shaped wiring plan a designer reviews.
+//
+// Format:
+//   tsvcod-assignment v1
+//   n <size>
+//   map <bit> <line> <0|1 inverted>     (one per bit)
+
+#include <iosfwd>
+#include <string>
+
+#include "core/assignment.hpp"
+#include "phys/tsv_geometry.hpp"
+
+namespace tsvcod::core {
+
+void save_assignment(std::ostream& os, const SignedPermutation& a);
+void save_assignment(const std::string& path, const SignedPermutation& a);
+
+/// Throws std::runtime_error on malformed input.
+SignedPermutation load_assignment(std::istream& is);
+SignedPermutation load_assignment(const std::string& path);
+
+/// Render the assignment as the physical array: one cell per TSV showing the
+/// bit it carries, '~'-prefixed when transmitted inverted.
+std::string format_assignment_grid(const phys::TsvArrayGeometry& geom,
+                                   const SignedPermutation& a);
+
+}  // namespace tsvcod::core

@@ -1,0 +1,141 @@
+#include "core/bus.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tsvcod::core {
+
+namespace {
+
+std::vector<std::vector<std::size_t>> contiguous_groups(std::size_t width,
+                                                        const std::vector<std::size_t>& caps) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::size_t next = 0;
+  for (const auto cap : caps) {
+    std::vector<std::size_t> g(cap);
+    std::iota(g.begin(), g.end(), next);
+    next += cap;
+    groups.push_back(std::move(g));
+  }
+  (void)width;
+  return groups;
+}
+
+/// Greedy clustering: each bundle is seeded with the strongest remaining
+/// correlated pair, then repeatedly absorbs the unassigned bit with the
+/// largest accumulated |correlation| to the bundle's members.
+std::vector<std::vector<std::size_t>> clustered_groups(const stats::SwitchingStats& s,
+                                                       const std::vector<std::size_t>& caps) {
+  const std::size_t n = s.width;
+  std::vector<bool> used(n, false);
+  std::vector<std::vector<std::size_t>> groups;
+
+  const auto corr = [&](std::size_t a, std::size_t b) { return std::abs(s.coupling(a, b)); };
+
+  for (const auto cap : caps) {
+    std::vector<std::size_t> g;
+    if (cap == 0) {
+      groups.push_back(std::move(g));
+      continue;
+    }
+    // Seed: strongest unassigned pair (or the single leftover bit).
+    std::size_t best_a = n, best_b = n;
+    double best = -1.0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (used[a]) continue;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (used[b]) continue;
+        if (corr(a, b) > best) {
+          best = corr(a, b);
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a == n) {  // one bit left
+      for (std::size_t a = 0; a < n; ++a) {
+        if (!used[a]) {
+          best_a = a;
+          break;
+        }
+      }
+      g.push_back(best_a);
+      used[best_a] = true;
+    } else {
+      g.push_back(best_a);
+      used[best_a] = true;
+      if (cap > 1) {
+        g.push_back(best_b);
+        used[best_b] = true;
+      }
+    }
+    while (g.size() < cap) {
+      std::size_t pick = n;
+      double acc_best = -1.0;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (used[b]) continue;
+        double acc = 0.0;
+        for (const auto m : g) acc += corr(b, m);
+        if (acc > acc_best) {
+          acc_best = acc;
+          pick = b;
+        }
+      }
+      g.push_back(pick);
+      used[pick] = true;
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> group_bus_bits(const stats::SwitchingStats& bus_stats,
+                                                     const std::vector<std::size_t>& capacities,
+                                                     GroupingStrategy strategy) {
+  const std::size_t total =
+      std::accumulate(capacities.begin(), capacities.end(), std::size_t{0});
+  if (total != bus_stats.width) {
+    throw std::invalid_argument("group_bus_bits: bundle capacities must sum to the bus width");
+  }
+  switch (strategy) {
+    case GroupingStrategy::Contiguous:
+      return contiguous_groups(bus_stats.width, capacities);
+    case GroupingStrategy::CorrelationClustered:
+      return clustered_groups(bus_stats, capacities);
+  }
+  throw std::logic_error("group_bus_bits: unknown strategy");
+}
+
+BusPartition optimize_bus(const stats::SwitchingStats& bus_stats,
+                          const std::vector<Link>& bundles, GroupingStrategy strategy,
+                          const OptimizeOptions& options) {
+  if (bundles.empty()) throw std::invalid_argument("optimize_bus: no bundles");
+  std::vector<std::size_t> caps;
+  caps.reserve(bundles.size());
+  for (const auto& b : bundles) caps.push_back(b.width());
+
+  BusPartition out;
+  out.bundle_bits = group_bus_bits(bus_stats, caps, strategy);
+  for (std::size_t k = 0; k < bundles.size(); ++k) {
+    const auto sub = stats::subset_stats(bus_stats, out.bundle_bits[k]);
+    OptimizeOptions opts = options;
+    // Per-bit inversion permissions follow the bits into their bundle.
+    if (!options.allow_invert.empty()) {
+      if (options.allow_invert.size() != bus_stats.width) {
+        throw std::invalid_argument("optimize_bus: allow_invert size mismatch");
+      }
+      opts.allow_invert.clear();
+      for (const auto bit : out.bundle_bits[k]) {
+        opts.allow_invert.push_back(options.allow_invert[bit]);
+      }
+    }
+    out.per_bundle.push_back(optimize_assignment(sub, bundles[k].model(), opts));
+    out.total_power += out.per_bundle.back().power;
+  }
+  return out;
+}
+
+}  // namespace tsvcod::core

@@ -1,0 +1,44 @@
+#pragma once
+// Multi-bundle bus optimization (extension of the paper's method).
+//
+// Wide buses cross a 3D interface through several TSV bundles. The paper
+// keeps the global net-to-bundle assignment routing-optimal and only
+// permutes within each bundle; when the designer *can* choose which bits
+// share a bundle, grouping strongly correlated bits together lets the
+// in-bundle assignment exploit their correlation (Sawtooth-style), while a
+// routing-natural contiguous split may separate them. Inter-bundle coupling
+// is negligible (bundles are spatially separate), so the bus power is the
+// sum of the per-bundle powers.
+
+#include <vector>
+
+#include "core/link.hpp"
+#include "stats/subset.hpp"
+
+namespace tsvcod::core {
+
+enum class GroupingStrategy {
+  Contiguous,             ///< bits in order, sliced by bundle capacity
+  CorrelationClustered,   ///< greedy max-accumulated-correlation clustering
+};
+
+struct BusPartition {
+  /// bundle_bits[k] = source-bus bit indices carried by bundle k.
+  std::vector<std::vector<std::size_t>> bundle_bits;
+  /// Optimized assignment within each bundle (indices are bundle-local).
+  std::vector<OptimizeResult> per_bundle;
+  double total_power = 0.0;
+};
+
+/// Group the bus bits onto the bundles and optimize within each. The bundle
+/// capacities (sum of link widths) must equal the bus width.
+BusPartition optimize_bus(const stats::SwitchingStats& bus_stats,
+                          const std::vector<Link>& bundles, GroupingStrategy strategy,
+                          const OptimizeOptions& options = {});
+
+/// The grouping alone (exposed for tests and analyses).
+std::vector<std::vector<std::size_t>> group_bus_bits(const stats::SwitchingStats& bus_stats,
+                                                     const std::vector<std::size_t>& capacities,
+                                                     GroupingStrategy strategy);
+
+}  // namespace tsvcod::core

@@ -1,0 +1,104 @@
+#include "core/evaluator.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace tsvcod::core {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}
+
+PowerEvaluator::PowerEvaluator(const stats::SwitchingStats& bit_stats,
+                               const tsv::LinearCapacitanceModel& model,
+                               SignedPermutation initial)
+    : bits_(bit_stats), model_(model), assignment_(std::move(initial)) {
+  reset(assignment_);
+}
+
+void PowerEvaluator::reset(SignedPermutation assignment) {
+  assignment_ = std::move(assignment);
+  const std::size_t n = bits_.width;
+  if (model_.size() != n || assignment_.size() != n) {
+    throw std::invalid_argument("PowerEvaluator: size mismatch");
+  }
+  line_self_.resize(n);
+  line_eps_.resize(n);
+  line_sign_.resize(n);
+  for (std::size_t l = 0; l < n; ++l) refresh_line(l);
+  power_ = recompute();
+}
+
+void PowerEvaluator::refresh_line(std::size_t line) {
+  const std::size_t bit = assignment_.bit_of_line(line);
+  const bool inv = assignment_.inverted(bit);
+  line_self_[line] = bits_.self[bit];
+  const double p = inv ? 1.0 - bits_.prob_one[bit] : bits_.prob_one[bit];
+  line_eps_[line] = p - 0.5;
+  line_sign_[line] = inv ? -1.0 : 1.0;
+}
+
+double PowerEvaluator::c_prime(std::size_t li, std::size_t lj) const {
+  return model_.c_ref()(li, lj) + model_.delta_c()(li, lj) * (line_eps_[li] + line_eps_[lj]);
+}
+
+double PowerEvaluator::k_coupling(std::size_t li, std::size_t lj) const {
+  const std::size_t bi = assignment_.bit_of_line(li);
+  const std::size_t bj = assignment_.bit_of_line(lj);
+  return line_sign_[li] * line_sign_[lj] * bits_.coupling(bi, bj);
+}
+
+double PowerEvaluator::recompute() const {
+  const std::size_t n = bits_.width;
+  double p = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    p += line_self_[i] * c_prime(i, i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      p += (line_self_[i] - k_coupling(i, j)) * c_prime(i, j);
+    }
+  }
+  return p;
+}
+
+double PowerEvaluator::terms_involving(std::size_t la, std::size_t lb) const {
+  const std::size_t n = bits_.width;
+  double acc = 0.0;
+  // Ground terms of the affected lines.
+  acc += line_self_[la] * c_prime(la, la);
+  if (lb != kNone) acc += line_self_[lb] * c_prime(lb, lb);
+  // All coupling terms with at least one end on an affected line. For the
+  // ordered-pair sum, pair {i,j} contributes (self_i + self_j - 2k) C_ij.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != la) {
+      acc += (line_self_[la] + line_self_[j] - 2.0 * k_coupling(la, j)) * c_prime(la, j);
+    }
+    if (lb != kNone && j != lb && j != la) {
+      acc += (line_self_[lb] + line_self_[j] - 2.0 * k_coupling(lb, j)) * c_prime(lb, j);
+    }
+  }
+  return acc;
+}
+
+double PowerEvaluator::swap_bits(std::size_t bit_a, std::size_t bit_b) {
+  if (bit_a == bit_b) return power_;
+  const std::size_t la = assignment_.line_of_bit(bit_a);
+  const std::size_t lb = assignment_.line_of_bit(bit_b);
+  const double before = terms_involving(la, lb);
+  assignment_.swap_bits(bit_a, bit_b);
+  refresh_line(la);
+  refresh_line(lb);
+  power_ += terms_involving(la, lb) - before;
+  return power_;
+}
+
+double PowerEvaluator::toggle_inversion(std::size_t bit) {
+  const std::size_t l = assignment_.line_of_bit(bit);
+  const double before = terms_involving(l, kNone);
+  assignment_.toggle_inversion(bit);
+  refresh_line(l);
+  power_ += terms_involving(l, kNone) - before;
+  return power_;
+}
+
+}  // namespace tsvcod::core

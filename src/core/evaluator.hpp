@@ -1,0 +1,60 @@
+#pragma once
+// Incremental power evaluator for assignment search.
+//
+// A full <T', C'> evaluation is O(N^2); annealing needs ~10^4-10^5 of them
+// per bundle. A swap touches two lines and an inversion toggle touches one,
+// so only terms involving those lines change — including the capacitances
+// C'_lj of every pair containing an affected line (eps_l changed). This
+// evaluator maintains the assignment plus the running power and updates it
+// in O(N) per move, with moves being self-inverse (repeat to undo), which is
+// exactly what the annealer needs.
+//
+// Invariant (checked in tests): power() equals assignment_power() of the
+// current assignment, bit-for-bit up to floating-point accumulation.
+
+#include "core/assignment.hpp"
+#include "core/power.hpp"
+#include "stats/switching_stats.hpp"
+#include "tsv/linear_model.hpp"
+
+namespace tsvcod::core {
+
+class PowerEvaluator {
+ public:
+  PowerEvaluator(const stats::SwitchingStats& bit_stats, const tsv::LinearCapacitanceModel& model,
+                 SignedPermutation initial);
+
+  double power() const { return power_; }
+  const SignedPermutation& assignment() const { return assignment_; }
+
+  /// Restart from a new assignment (same stats/model); also clears any
+  /// floating-point drift accumulated by the incremental updates.
+  void reset(SignedPermutation assignment);
+
+  /// Exchange the lines of two bits; returns the new total power.
+  double swap_bits(std::size_t bit_a, std::size_t bit_b);
+  /// Flip one bit's inversion; returns the new total power.
+  double toggle_inversion(std::size_t bit);
+
+  /// O(N^2) reference recomputation (for verification).
+  double recompute() const;
+
+ private:
+  /// Sum of all power terms involving at least one line in {la, lb}
+  /// (lb == SIZE_MAX for single-line moves).
+  double terms_involving(std::size_t la, std::size_t lb) const;
+  void refresh_line(std::size_t line);
+
+  double c_prime(std::size_t li, std::size_t lj) const;
+  double k_coupling(std::size_t li, std::size_t lj) const;
+
+  const stats::SwitchingStats& bits_;
+  const tsv::LinearCapacitanceModel& model_;
+  SignedPermutation assignment_;
+  std::vector<double> line_self_;
+  std::vector<double> line_eps_;
+  std::vector<double> line_sign_;
+  double power_ = 0.0;
+};
+
+}  // namespace tsvcod::core

@@ -1,0 +1,57 @@
+#include "core/link.hpp"
+
+#include <stdexcept>
+
+namespace tsvcod::core {
+
+Link::Link(const phys::TsvArrayGeometry& geom, const tsv::AnalyticModelParams& params)
+    : geom_(geom), model_(tsv::fit_from_analytic(geom, params)) {}
+
+Link::Link(const phys::TsvArrayGeometry& geom, tsv::LinearCapacitanceModel model)
+    : geom_(geom), model_(std::move(model)) {
+  if (model_.size() != geom_.count()) {
+    throw std::invalid_argument("Link: model size does not match the array");
+  }
+}
+
+stats::SwitchingStats Link::measure(streams::WordStream& stream, std::size_t samples) const {
+  if (stream.width() != width()) {
+    throw std::invalid_argument("Link::measure: stream width does not match the array");
+  }
+  stats::StatsAccumulator acc(width());
+  for (std::size_t i = 0; i < samples; ++i) acc.add(stream.next());
+  return acc.finish();
+}
+
+double Link::power(const stats::SwitchingStats& bit_stats, const SignedPermutation& a) const {
+  return assignment_power(bit_stats, a, model_);
+}
+
+AssignmentStudy study_assignments(const Link& link, const stats::SwitchingStats& bit_stats,
+                                  const StudyOptions& options) {
+  if (bit_stats.width != link.width()) {
+    throw std::invalid_argument("study_assignments: stats width does not match the array");
+  }
+  AssignmentStudy out;
+  const auto base =
+      random_assignment_power(bit_stats, link.model(), options.random_samples);
+  out.random_mean = base.mean;
+  out.random_worst = base.worst;
+  out.identity = link.power(bit_stats, SignedPermutation::identity(link.width()));
+
+  auto opt = optimize_assignment(bit_stats, link.model(), options.optimize);
+  out.optimal = opt.power;
+  out.optimal_map = std::move(opt.assignment);
+
+  if (options.with_spiral) {
+    out.spiral_map = spiral_assignment(link.geometry(), bit_stats);
+    out.spiral = link.power(bit_stats, out.spiral_map);
+  }
+  if (options.with_sawtooth) {
+    out.sawtooth_map = sawtooth_assignment(link.geometry(), bit_stats);
+    out.sawtooth = link.power(bit_stats, out.sawtooth_map);
+  }
+  return out;
+}
+
+}  // namespace tsvcod::core

@@ -1,0 +1,218 @@
+#include "core/optimize.hpp"
+
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tsvcod::core {
+
+namespace {
+
+std::vector<std::uint8_t> effective_invert_mask(const OptimizeOptions& options, std::size_t n) {
+  if (!options.allow_inversions) return std::vector<std::uint8_t>(n, 0);
+  if (options.allow_invert.empty()) return std::vector<std::uint8_t>(n, 1);
+  if (options.allow_invert.size() != n) {
+    throw std::invalid_argument("OptimizeOptions: allow_invert size mismatch");
+  }
+  return options.allow_invert;
+}
+
+}  // namespace
+
+OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
+                                   const tsv::LinearCapacitanceModel& model,
+                                   const OptimizeOptions& options) {
+  const std::size_t n = bit_stats.width;
+  if (model.size() != n) throw std::invalid_argument("optimize_assignment: width mismatch");
+  const auto invert_ok = effective_invert_mask(options, n);
+
+  std::vector<std::size_t> invertible_bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (invert_ok[i]) invertible_bits.push_back(i);
+  }
+  const bool any_invertible = !invertible_bits.empty();
+
+  // Specialized annealer on the incremental evaluator: moves are
+  // self-inverse (swap again / toggle again), so rejection is an undo and
+  // every accept/reject costs O(N) instead of the O(N^2) full evaluation.
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::uniform_int_distribution<int> move_kind(0, any_invertible ? 2 : 1);
+  std::uniform_int_distribution<std::size_t> pick_bit(0, n - 1);
+
+  PowerEvaluator ev(bit_stats, model, SignedPermutation::identity(n));
+  std::size_t evaluations = 1;
+
+  struct Move {
+    bool is_toggle;
+    std::size_t a, b;
+  };
+  const auto random_move = [&]() -> Move {
+    if (any_invertible && move_kind(rng) == 2) {
+      std::uniform_int_distribution<std::size_t> pick(0, invertible_bits.size() - 1);
+      return {true, invertible_bits[pick(rng)], 0};
+    }
+    std::size_t a = pick_bit(rng);
+    std::size_t b = pick_bit(rng);
+    while (n > 1 && b == a) b = pick_bit(rng);
+    return {false, a, b};
+  };
+  const auto apply = [&](const Move& m) {
+    ++evaluations;
+    return m.is_toggle ? ev.toggle_inversion(m.a) : ev.swap_bits(m.a, m.b);
+  };
+
+  // Temperature calibration from probe moves (undone immediately).
+  double t_start = options.schedule.t_start;
+  if (t_start <= 0.0) {
+    double acc = 0.0;
+    constexpr int kProbe = 32;
+    for (int i = 0; i < kProbe; ++i) {
+      const double before = ev.power();
+      const Move m = random_move();
+      acc += std::abs(apply(m) - before);
+      apply(m);  // undo
+    }
+    t_start = acc / kProbe * 2.0;
+    if (t_start <= 0.0) t_start = 1e-12;
+  }
+  const double t_end = t_start * options.schedule.t_ratio;
+  const double decay = options.schedule.iterations > 1
+                           ? std::pow(t_end / t_start, 1.0 / (options.schedule.iterations - 1))
+                           : 1.0;
+
+  SignedPermutation best = ev.assignment();
+  double best_power = ev.power();
+  for (int restart = 0; restart < options.schedule.restarts; ++restart) {
+    // Resync from the best state (also clears float drift of the deltas).
+    ev.reset(best);
+    double current = ev.power();
+    double t = t_start;
+    for (int it = 0; it < options.schedule.iterations; ++it, t *= decay) {
+      const Move m = random_move();
+      const double cand = apply(m);
+      const double d = cand - current;
+      if (d <= 0.0 || uni(rng) < std::exp(-d / t)) {
+        current = cand;
+        if (current < best_power) {
+          best_power = current;
+          best = ev.assignment();
+        }
+      } else {
+        apply(m);  // reject: undo
+      }
+    }
+  }
+  // Exact final power (the incremental value only drifts at float epsilon).
+  const double exact = assignment_power(bit_stats, best, model);
+  return {std::move(best), exact, evaluations};
+}
+
+OptimizeResult exhaustive_optimal(const stats::SwitchingStats& bit_stats,
+                                  const tsv::LinearCapacitanceModel& model,
+                                  const OptimizeOptions& options) {
+  const std::size_t n = bit_stats.width;
+  if (model.size() != n) throw std::invalid_argument("exhaustive_optimal: width mismatch");
+  const auto invert_ok = effective_invert_mask(options, n);
+  std::vector<std::size_t> invertible_bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (invert_ok[i]) invertible_bits.push_back(i);
+  }
+
+  double perms = 1.0;
+  for (std::size_t k = 2; k <= n; ++k) perms *= static_cast<double>(k);
+  const double space = perms * std::pow(2.0, static_cast<double>(invertible_bits.size()));
+  if (space > 1e7) {
+    throw std::invalid_argument("exhaustive_optimal: search space too large");
+  }
+
+  std::vector<std::size_t> line_of_bit(n);
+  std::iota(line_of_bit.begin(), line_of_bit.end(), std::size_t{0});
+
+  OptimizeResult best{SignedPermutation::identity(n), 1e300, 0};
+  do {
+    const std::uint64_t mask_count = std::uint64_t{1} << invertible_bits.size();
+    for (std::uint64_t m = 0; m < mask_count; ++m) {
+      std::vector<std::uint8_t> inv(n, 0);
+      for (std::size_t k = 0; k < invertible_bits.size(); ++k) {
+        if ((m >> k) & 1u) inv[invertible_bits[k]] = 1;
+      }
+      SignedPermutation a(line_of_bit, std::move(inv));
+      const double p = assignment_power(bit_stats, a, model);
+      ++best.evaluations;
+      if (p < best.power) {
+        best.power = p;
+        best.assignment = std::move(a);
+      }
+    }
+  } while (std::next_permutation(line_of_bit.begin(), line_of_bit.end()));
+  return best;
+}
+
+OptimizeResult greedy_descent(const stats::SwitchingStats& bit_stats,
+                              const tsv::LinearCapacitanceModel& model,
+                              const OptimizeOptions& options) {
+  const std::size_t n = bit_stats.width;
+  if (model.size() != n) throw std::invalid_argument("greedy_descent: width mismatch");
+  const auto invert_ok = effective_invert_mask(options, n);
+
+  PowerEvaluator ev(bit_stats, model, SignedPermutation::identity(n));
+  std::size_t evaluations = 1;
+  // Accept only clearly-improving moves so float noise cannot cycle forever.
+  const auto improves = [](double cand, double cur) { return cand < cur * (1.0 - 1e-12); };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    double current = ev.power();
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        const double cand = ev.swap_bits(a, b);
+        ++evaluations;
+        if (improves(cand, current)) {
+          current = cand;
+          improved = true;
+        } else {
+          ev.swap_bits(a, b);  // undo
+        }
+      }
+      if (invert_ok[a]) {
+        const double cand = ev.toggle_inversion(a);
+        ++evaluations;
+        if (improves(cand, current)) {
+          current = cand;
+          improved = true;
+        } else {
+          ev.toggle_inversion(a);
+        }
+      }
+    }
+  }
+  SignedPermutation best = ev.assignment();
+  const double exact = assignment_power(bit_stats, best, model);
+  return {std::move(best), exact, evaluations};
+}
+
+BaselinePowers random_assignment_power(const stats::SwitchingStats& bit_stats,
+                                       const tsv::LinearCapacitanceModel& model,
+                                       std::size_t samples, unsigned seed) {
+  if (samples == 0) throw std::invalid_argument("random_assignment_power: samples must be > 0");
+  std::mt19937_64 rng(seed);
+  BaselinePowers out;
+  out.best = 1e300;
+  double sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto a = SignedPermutation::random(bit_stats.width, rng);
+    const double p = assignment_power(bit_stats, a, model);
+    sum += p;
+    out.worst = std::max(out.worst, p);
+    out.best = std::min(out.best, p);
+  }
+  out.mean = sum / static_cast<double>(samples);
+  return out;
+}
+
+}  // namespace tsvcod::core

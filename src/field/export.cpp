@@ -1,0 +1,54 @@
+#include "field/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace tsvcod::field {
+
+void write_pgm(std::ostream& os, std::size_t width, std::size_t height,
+               const std::vector<double>& values) {
+  if (values.size() != width * height) throw std::invalid_argument("write_pgm: size mismatch");
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  os << "P2\n" << width << ' ' << height << "\n255\n";
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double v = values[y * width + x];
+      os << static_cast<int>(std::lround((v - lo) * scale));
+      os << (x + 1 == width ? '\n' : ' ');
+    }
+  }
+}
+
+void write_pgm(const std::string& path, std::size_t width, std::size_t height,
+               const std::vector<double>& values) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_pgm: cannot open " + path);
+  write_pgm(os, width, height, values);
+}
+
+std::vector<double> permittivity_map(const Grid& grid) {
+  std::vector<double> out(grid.size());
+  double eps_max = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) eps_max = std::max(eps_max, std::abs(grid.eps(i)));
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    out[i] = grid.conductor(i) != kNoConductor ? 1.5 * eps_max : std::abs(grid.eps(i));
+  }
+  return out;
+}
+
+std::vector<double> potential_map(const Grid& grid, const std::vector<Complex>& phi) {
+  if (phi.size() != grid.size()) throw std::invalid_argument("potential_map: size mismatch");
+  std::vector<double> out(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) out[i] = phi[i].real();
+  return out;
+}
+
+}  // namespace tsvcod::field

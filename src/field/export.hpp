@@ -1,0 +1,28 @@
+#pragma once
+// Visualization export for field solutions: grayscale PGM images of the
+// cross-section geometry (permittivity magnitude) and of solved potentials.
+// Useful for eyeballing that the rasterized liners/depletion annuli and the
+// E-field sharing between TSVs look physical — the pictures Q3D would show.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "field/grid.hpp"
+
+namespace tsvcod::field {
+
+/// Write a (width x height) scalar field as an 8-bit PGM, min-max scaled.
+/// Values are in grid cell order (row-major, row 0 at the top of the image).
+void write_pgm(std::ostream& os, std::size_t width, std::size_t height,
+               const std::vector<double>& values);
+void write_pgm(const std::string& path, std::size_t width, std::size_t height,
+               const std::vector<double>& values);
+
+/// |eps*| per cell; conductors are rendered brightest.
+std::vector<double> permittivity_map(const Grid& grid);
+
+/// Re{phi} per cell for a solved potential.
+std::vector<double> potential_map(const Grid& grid, const std::vector<Complex>& phi);
+
+}  // namespace tsvcod::field

@@ -1,0 +1,100 @@
+#include "field/extractor.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <stdexcept>
+
+#include "phys/constants.hpp"
+#include "phys/depletion.hpp"
+
+namespace tsvcod::field {
+
+Grid build_array_grid(const phys::TsvArrayGeometry& geom, std::span<const double> probabilities,
+                      const ExtractionOptions& opts) {
+  geom.validate();
+  if (probabilities.size() != geom.count()) {
+    throw std::invalid_argument("build_array_grid: one probability per TSV required");
+  }
+  const double margin = opts.margin > 0.0 ? opts.margin : 3.0 * geom.pitch;
+  const double span_x = static_cast<double>(geom.cols - 1) * geom.pitch;
+  const double span_y = static_cast<double>(geom.rows - 1) * geom.pitch;
+  Grid grid(span_x + 2.0 * margin, span_y + 2.0 * margin, opts.cell);
+
+  const double omega = 2.0 * phys::pi * opts.frequency;
+  const Complex eps_substrate{phys::eps_r_si,
+                              -geom.mos.substrate_sigma / (omega * phys::eps0)};
+  const Complex eps_oxide{phys::eps_r_sio2, 0.0};
+  const Complex eps_depleted{phys::eps_r_si, 0.0};
+  grid.fill(eps_substrate);
+
+  const double r = geom.radius;
+  const double t_ox = geom.oxide_thickness();
+  for (std::size_t i = 0; i < geom.count(); ++i) {
+    const auto p = geom.position(i);
+    const double cx = p.x + margin;
+    const double cy = p.y + margin;
+    const double w = phys::depletion_width_for_probability(r, t_ox, probabilities[i], geom.mos);
+    if (w > 0.0) grid.paint_annulus(cx, cy, r + t_ox, r + t_ox + w, eps_depleted);
+    grid.paint_annulus(cx, cy, r, r + t_ox, eps_oxide);
+    // The conductor cells keep an oxide permittivity so that the metal/liner
+    // face weight equals the liner's (the solver uses harmonic face means).
+    grid.paint_disk(cx, cy, r, eps_oxide);
+    grid.paint_disk(cx, cy, r, eps_oxide, static_cast<std::int32_t>(i));
+  }
+  return grid;
+}
+
+CapacitanceResult extract_capacitance(const phys::TsvArrayGeometry& geom,
+                                      std::span<const double> probabilities,
+                                      const ExtractionOptions& opts) {
+  const Grid grid = build_array_grid(geom, probabilities, opts);
+  const FieldProblem problem(grid);
+  const std::size_t n = geom.count();
+
+  phys::Matrix q_re(n, n);
+  CapacitanceResult out;
+  out.stats.resize(n);
+  const auto solve_one = [&](std::size_t k) {
+    const auto phi = problem.solve(static_cast<std::int32_t>(k), opts.solver, &out.stats[k]);
+    const auto q = problem.conductor_charges(phi);
+    for (std::size_t m = 0; m < n; ++m) q_re(m, k) = q[m].real();
+  };
+  if (opts.threads > 1) {
+    // The solves are independent (FieldProblem::solve is const and each task
+    // writes a disjoint column of q_re / entry of stats).
+    std::vector<std::future<void>> tasks;
+    std::atomic<std::size_t> next{0};
+    const int workers = std::min<int>(opts.threads, static_cast<int>(n));
+    for (int w = 0; w < workers; ++w) {
+      tasks.push_back(std::async(std::launch::async, [&] {
+        for (std::size_t k = next.fetch_add(1); k < n; k = next.fetch_add(1)) solve_one(k);
+      }));
+    }
+    for (auto& t : tasks) t.get();
+  } else {
+    for (std::size_t k = 0; k < n; ++k) solve_one(k);
+  }
+
+  // Symmetrize (discretization leaves a small asymmetry) and scale by length.
+  out.maxwell = phys::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.maxwell(i, j) = 0.5 * (q_re(i, j) + q_re(j, i)) * geom.length;
+    }
+  }
+
+  // Maxwell form -> paper form: coupling C_ij = -M_ij, ground C_ii = row sum.
+  out.paper = phys::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row_sum += out.maxwell(i, j);
+      if (i != j) out.paper(i, j) = std::max(0.0, -out.maxwell(i, j));
+    }
+    out.paper(i, i) = std::max(0.0, row_sum);
+  }
+  return out;
+}
+
+}  // namespace tsvcod::field

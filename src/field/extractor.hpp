@@ -1,0 +1,57 @@
+#pragma once
+// Quasi-electrostatic capacitance extraction for TSV arrays (the repo's
+// substitute for the paper's Ansys Q3D runs).
+//
+// For every TSV, the cross-section is rasterized as: copper core (conductor),
+// SiO2 liner, depleted annulus (lossless silicon, width from the cylindrical
+// deep-depletion Poisson solve at the signal's average voltage pr*Vdd) and
+// the lossy p-substrate with complex permittivity
+//     eps*_r = eps_r,si - j * sigma / (omega * eps0).
+// One Dirichlet solve per conductor yields the complex charge matrix Q; the
+// effective capacitance matrix at the extraction frequency is C = Re{Q}
+// (because Y = j*omega*Q = G + j*omega*C). Scaling by the TSV length turns
+// the per-unit-length 2-D result into the array's lumped capacitances.
+
+#include <span>
+#include <vector>
+
+#include "field/solver.hpp"
+#include "phys/matrix.hpp"
+#include "phys/tsv_geometry.hpp"
+
+namespace tsvcod::field {
+
+struct ExtractionOptions {
+  double cell = 0.1e-6;       ///< grid cell edge [m]
+  double margin = 0.0;        ///< substrate margin around the array [m]; 0 = auto (3 pitches)
+  double frequency = 3e9;     ///< extraction frequency [Hz]
+  int threads = 1;            ///< per-conductor solves run in parallel if > 1
+  SolverOptions solver{};
+};
+
+struct CapacitanceResult {
+  /// Paper-form matrix: diagonal = ground capacitance C_ii, off-diagonal =
+  /// coupling capacitance C_ij >= 0. Units: farads (lumped, length-scaled).
+  phys::Matrix paper;
+  /// Raw (symmetrized) Maxwell matrix Re{Q}*l for diagnostics.
+  phys::Matrix maxwell;
+  std::vector<SolveStats> stats;
+
+  bool all_converged() const {
+    for (const auto& s : stats)
+      if (!s.converged) return false;
+    return true;
+  }
+};
+
+/// Rasterize the array cross-section; `probabilities` holds one 1-bit
+/// probability per TSV (sets each depletion width).
+Grid build_array_grid(const phys::TsvArrayGeometry& geom, std::span<const double> probabilities,
+                      const ExtractionOptions& opts);
+
+/// Full extraction: one field solve per TSV.
+CapacitanceResult extract_capacitance(const phys::TsvArrayGeometry& geom,
+                                      std::span<const double> probabilities,
+                                      const ExtractionOptions& opts = {});
+
+}  // namespace tsvcod::field

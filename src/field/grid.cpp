@@ -1,0 +1,75 @@
+#include "field/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvcod::field {
+
+Grid::Grid(double width, double height, double cell) : cell_(cell) {
+  if (!(width > 0.0) || !(height > 0.0) || !(cell > 0.0)) {
+    throw std::invalid_argument("Grid: dimensions must be positive");
+  }
+  nx_ = static_cast<std::size_t>(std::ceil(width / cell));
+  ny_ = static_cast<std::size_t>(std::ceil(height / cell));
+  if (nx_ < 4 || ny_ < 4) throw std::invalid_argument("Grid: domain too small for cell size");
+  eps_.assign(nx_ * ny_, Complex{1.0, 0.0});
+  conductor_.assign(nx_ * ny_, kNoConductor);
+}
+
+void Grid::fill(Complex eps_r) { std::fill(eps_.begin(), eps_.end(), eps_r); }
+
+void Grid::paint_disk(double cx, double cy, double radius, Complex eps_r,
+                      std::int32_t conductor_id) {
+  if (!(radius > 0.0)) throw std::invalid_argument("paint_disk: radius must be positive");
+  const double r2 = radius * radius;
+  const auto ix_lo = static_cast<std::size_t>(std::max(0.0, std::floor((cx - radius) / cell_)));
+  const auto iy_lo = static_cast<std::size_t>(std::max(0.0, std::floor((cy - radius) / cell_)));
+  const auto ix_hi = std::min(nx_, static_cast<std::size_t>(std::ceil((cx + radius) / cell_)) + 1);
+  const auto iy_hi = std::min(ny_, static_cast<std::size_t>(std::ceil((cy + radius) / cell_)) + 1);
+  for (std::size_t iy = iy_lo; iy < iy_hi; ++iy) {
+    for (std::size_t ix = ix_lo; ix < ix_hi; ++ix) {
+      const double dx = x_of(ix) - cx;
+      const double dy = y_of(iy) - cy;
+      if (dx * dx + dy * dy <= r2) {
+        const std::size_t i = index(ix, iy);
+        if (conductor_id == kNoConductor) {
+          eps_[i] = eps_r;
+          // A dielectric paint over a conductor cell demotes it back; callers
+          // paint conductors last to avoid surprises.
+          conductor_[i] = kNoConductor;
+        } else {
+          conductor_[i] = conductor_id;
+        }
+      }
+    }
+  }
+  if (conductor_id != kNoConductor) {
+    conductor_count_ = std::max(conductor_count_, conductor_id + 1);
+  }
+}
+
+void Grid::paint_annulus(double cx, double cy, double r_in, double r_out, Complex eps_r) {
+  if (!(r_out > r_in) || !(r_in >= 0.0)) {
+    throw std::invalid_argument("paint_annulus: need 0 <= r_in < r_out");
+  }
+  const double ri2 = r_in * r_in;
+  const double ro2 = r_out * r_out;
+  const auto ix_lo = static_cast<std::size_t>(std::max(0.0, std::floor((cx - r_out) / cell_)));
+  const auto iy_lo = static_cast<std::size_t>(std::max(0.0, std::floor((cy - r_out) / cell_)));
+  const auto ix_hi = std::min(nx_, static_cast<std::size_t>(std::ceil((cx + r_out) / cell_)) + 1);
+  const auto iy_hi = std::min(ny_, static_cast<std::size_t>(std::ceil((cy + r_out) / cell_)) + 1);
+  for (std::size_t iy = iy_lo; iy < iy_hi; ++iy) {
+    for (std::size_t ix = ix_lo; ix < ix_hi; ++ix) {
+      const double dx = x_of(ix) - cx;
+      const double dy = y_of(iy) - cy;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 >= ri2 && d2 < ro2) {
+        const std::size_t i = index(ix, iy);
+        if (conductor_[i] == kNoConductor) eps_[i] = eps_r;
+      }
+    }
+  }
+}
+
+}  // namespace tsvcod::field

@@ -1,0 +1,216 @@
+#include "field/solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phys/constants.hpp"
+
+namespace tsvcod::field {
+
+namespace {
+
+Complex harmonic_mean(Complex a, Complex b) {
+  const Complex s = a + b;
+  if (std::abs(s) == 0.0) return Complex{0.0, 0.0};
+  return 2.0 * a * b / s;
+}
+
+double norm2(const std::vector<Complex>& v) {
+  double acc = 0.0;
+  for (const auto& c : v) acc += std::norm(c);
+  return std::sqrt(acc);
+}
+
+Complex dot(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return acc;
+}
+
+}  // namespace
+
+FieldProblem::FieldProblem(const Grid& grid) : grid_(grid) {
+  const std::size_t n = grid.size();
+  free_index_.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (grid.conductor(i) == kNoConductor) {
+      free_index_[i] = static_cast<std::int64_t>(free_cells_.size());
+      free_cells_.push_back(i);
+    } else {
+      ++dirichlet_count_;
+    }
+  }
+  // Precompute east/north face weights for every cell.
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  w_east_.assign(n, Complex{});
+  w_north_.assign(n, Complex{});
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t i = grid.index(ix, iy);
+      if (ix + 1 < nx) w_east_[i] = harmonic_mean(grid.eps(i), grid.eps(grid.index(ix + 1, iy)));
+      if (iy + 1 < ny) w_north_[i] = harmonic_mean(grid.eps(i), grid.eps(grid.index(ix, iy + 1)));
+    }
+  }
+}
+
+void FieldProblem::apply(const std::vector<Complex>& x, std::vector<Complex>& y) const {
+  // y = A x where x is the unknown vector and A couples only free cells
+  // (Dirichlet contributions live in the right-hand side).
+  const std::size_t nx = grid_.nx();
+  const std::size_t ny = grid_.ny();
+  for (std::size_t u = 0; u < free_cells_.size(); ++u) {
+    const std::size_t i = free_cells_[u];
+    const std::size_t ix = i % nx;
+    const std::size_t iy = i / nx;
+    Complex diag{};
+    Complex off{};
+    auto face = [&](std::size_t j, Complex w) {
+      diag += w;
+      const std::int64_t fj = free_index_[j];
+      if (fj >= 0) off += w * x[static_cast<std::size_t>(fj)];
+    };
+    if (ix + 1 < nx) face(i + 1, w_east_[i]);
+    if (ix > 0) face(i - 1, w_east_[i - 1]);
+    if (iy + 1 < ny) face(i + nx, w_north_[i]);
+    if (iy > 0) face(i - nx, w_north_[i - nx]);
+    // Domain-boundary faces: Dirichlet 0 with the cell's own permittivity.
+    if (ix == 0 || ix + 1 == nx) diag += grid_.eps(i);
+    if (iy == 0 || iy + 1 == ny) diag += grid_.eps(i);
+    y[u] = diag * x[u] - off;
+  }
+}
+
+std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOptions& opts,
+                                         SolveStats* stats) const {
+  const std::size_t nu = free_cells_.size();
+  const std::size_t nx = grid_.nx();
+  const std::size_t ny = grid_.ny();
+
+  // Right-hand side: contributions of Dirichlet neighbours (active conductor
+  // at 1 V; everything else at 0 V).
+  std::vector<Complex> b(nu, Complex{});
+  for (std::size_t u = 0; u < nu; ++u) {
+    const std::size_t i = free_cells_[u];
+    const std::size_t ix = i % nx;
+    const std::size_t iy = i / nx;
+    auto dirichlet = [&](std::size_t j, Complex w) {
+      if (grid_.conductor(j) == active) b[u] += w;  // phi = 1 there
+    };
+    if (ix + 1 < nx && free_index_[i + 1] < 0) dirichlet(i + 1, w_east_[i]);
+    if (ix > 0 && free_index_[i - 1] < 0) dirichlet(i - 1, w_east_[i - 1]);
+    if (iy + 1 < ny && free_index_[i + nx] < 0) dirichlet(i + nx, w_north_[i]);
+    if (iy > 0 && free_index_[i - nx] < 0) dirichlet(i - nx, w_north_[i - nx]);
+  }
+
+  // Jacobi (diagonal) preconditioning: scale rows by 1/diag.
+  std::vector<Complex> diag(nu, Complex{});
+  for (std::size_t u = 0; u < nu; ++u) {
+    const std::size_t i = free_cells_[u];
+    const std::size_t ix = i % nx;
+    const std::size_t iy = i / nx;
+    Complex d{};
+    if (ix + 1 < nx) d += w_east_[i];
+    if (ix > 0) d += w_east_[i - 1];
+    if (iy + 1 < ny) d += w_north_[i];
+    if (iy > 0) d += w_north_[i - nx];
+    if (ix == 0 || ix + 1 == nx) d += grid_.eps(i);
+    if (iy == 0 || iy + 1 == ny) d += grid_.eps(i);
+    diag[u] = d;
+  }
+
+  auto apply_scaled = [&](const std::vector<Complex>& x, std::vector<Complex>& y) {
+    apply(x, y);
+    for (std::size_t u = 0; u < nu; ++u) y[u] /= diag[u];
+  };
+  std::vector<Complex> bs(nu);
+  for (std::size_t u = 0; u < nu; ++u) bs[u] = b[u] / diag[u];
+
+  // BiCGStab on the Jacobi-scaled system.
+  std::vector<Complex> x(nu, Complex{});
+  std::vector<Complex> r = bs;
+  std::vector<Complex> r0 = r;
+  std::vector<Complex> p(nu, Complex{}), v(nu, Complex{}), s(nu), t(nu);
+  Complex rho{1.0, 0.0}, alpha{1.0, 0.0}, omega{1.0, 0.0};
+  const double bnorm = norm2(bs);
+  double res = bnorm > 0.0 ? 1.0 : 0.0;
+  int it = 0;
+  if (bnorm > 0.0) {
+    for (; it < opts.max_iterations; ++it) {
+      const Complex rho1 = dot(r0, r);
+      if (std::abs(rho1) < 1e-300) break;  // breakdown
+      if (it == 0) {
+        p = r;
+      } else {
+        const Complex beta = (rho1 / rho) * (alpha / omega);
+        for (std::size_t u = 0; u < nu; ++u) p[u] = r[u] + beta * (p[u] - omega * v[u]);
+      }
+      rho = rho1;
+      apply_scaled(p, v);
+      alpha = rho / dot(r0, v);
+      for (std::size_t u = 0; u < nu; ++u) s[u] = r[u] - alpha * v[u];
+      if (norm2(s) / bnorm < opts.tolerance) {
+        for (std::size_t u = 0; u < nu; ++u) x[u] += alpha * p[u];
+        res = norm2(s) / bnorm;
+        ++it;
+        break;
+      }
+      apply_scaled(s, t);
+      const Complex tt = dot(t, t);
+      if (std::abs(tt) < 1e-300) break;
+      omega = dot(t, s) / tt;
+      for (std::size_t u = 0; u < nu; ++u) {
+        x[u] += alpha * p[u] + omega * s[u];
+        r[u] = s[u] - omega * t[u];
+      }
+      res = norm2(r) / bnorm;
+      if (res < opts.tolerance) {
+        ++it;
+        break;
+      }
+    }
+  }
+  if (stats) {
+    stats->iterations = it;
+    stats->residual = res;
+    stats->converged = res < opts.tolerance;
+  }
+
+  // Scatter to the full grid, Dirichlet values included.
+  std::vector<Complex> phi(grid_.size(), Complex{});
+  for (std::size_t u = 0; u < nu; ++u) phi[free_cells_[u]] = x[u];
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    if (grid_.conductor(i) == active) phi[i] = Complex{1.0, 0.0};
+  }
+  return phi;
+}
+
+std::vector<Complex> FieldProblem::conductor_charges(const std::vector<Complex>& phi) const {
+  if (phi.size() != grid_.size()) throw std::invalid_argument("conductor_charges: bad phi size");
+  const std::size_t nx = grid_.nx();
+  const std::size_t ny = grid_.ny();
+  std::vector<Complex> q(static_cast<std::size_t>(grid_.conductor_count()), Complex{});
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t i = grid_.index(ix, iy);
+      const std::int32_t c = grid_.conductor(i);
+      if (c == kNoConductor) continue;
+      auto flux = [&](std::size_t j, Complex w) {
+        if (grid_.conductor(j) == c) return;  // internal face, no net flux
+        q[static_cast<std::size_t>(c)] += w * (phi[i] - phi[j]);
+      };
+      if (ix + 1 < nx) flux(i + 1, w_east_[i]);
+      if (ix > 0) flux(i - 1, w_east_[i - 1]);
+      if (iy + 1 < ny) flux(i + nx, w_north_[i]);
+      if (iy > 0) flux(i - nx, w_north_[i - nx]);
+      // Conductors never touch the outer boundary in our geometries; if they
+      // did, the boundary face would contribute with the cell's own eps.
+      if (ix == 0 || ix + 1 == nx) q[static_cast<std::size_t>(c)] += grid_.eps(i) * phi[i];
+      if (iy == 0 || iy + 1 == ny) q[static_cast<std::size_t>(c)] += grid_.eps(i) * phi[i];
+    }
+  }
+  for (auto& v : q) v *= phys::eps0;
+  return q;
+}
+
+}  // namespace tsvcod::field

@@ -1,0 +1,57 @@
+#pragma once
+// Matrix-free complex BiCGStab solver for the variable-coefficient Laplace
+// problem  div( eps* grad phi ) = 0  on a Grid.
+//
+// Conductor cells and the outer boundary are Dirichlet nodes; everything else
+// is a free unknown. Face permittivities are harmonic means of the two
+// adjacent cells, which is the standard conservative finite-volume choice for
+// piecewise-constant coefficients.
+
+#include <vector>
+
+#include "field/grid.hpp"
+
+namespace tsvcod::field {
+
+struct SolverOptions {
+  double tolerance = 1e-9;  ///< relative residual target
+  int max_iterations = 50000;
+};
+
+struct SolveStats {
+  int iterations = 0;
+  double residual = 0.0;  ///< final relative residual
+  bool converged = false;
+};
+
+class FieldProblem {
+ public:
+  explicit FieldProblem(const Grid& grid);
+
+  /// Solve with conductor `active` held at 1 V, every other conductor and the
+  /// outer boundary at 0 V. Returns the full-grid potential (Dirichlet cells
+  /// included) and fills `stats`.
+  std::vector<Complex> solve(std::int32_t active, const SolverOptions& opts,
+                             SolveStats* stats = nullptr) const;
+
+  /// Complex charge per unit length [F/m * V-normalized] on each conductor
+  /// for a given full-grid potential. Multiply by eps0 (done here) so the
+  /// result is directly in farads per metre.
+  std::vector<Complex> conductor_charges(const std::vector<Complex>& phi) const;
+
+  std::size_t unknowns() const { return free_index_.size() - dirichlet_count_; }
+
+ private:
+  void apply(const std::vector<Complex>& x, std::vector<Complex>& y) const;
+
+  const Grid& grid_;
+  // For each cell: index into the unknown vector, or -1 for Dirichlet cells.
+  std::vector<std::int64_t> free_index_;
+  std::vector<std::size_t> free_cells_;  // cell index of each unknown
+  std::size_t dirichlet_count_ = 0;
+  // Face weights (relative permittivity harmonic means), east and north per cell.
+  std::vector<Complex> w_east_;
+  std::vector<Complex> w_north_;
+};
+
+}  // namespace tsvcod::field

@@ -1,0 +1,35 @@
+#include "noc/router.hpp"
+
+namespace tsvcod::noc {
+
+void Router::accept(Direction port, Flit flit) {
+  in_[static_cast<std::size_t>(port)].push_back(std::move(flit));
+}
+
+std::size_t Router::queued() const {
+  std::size_t total = 0;
+  for (const auto& q : in_) total += q.size();
+  return total;
+}
+
+void Router::arbitrate(const Mesh3D& mesh, std::array<std::optional<Flit>, kPortCount>& out) {
+  for (auto& o : out) o.reset();
+  // For each output port, scan the input ports round-robin and grant the
+  // first whose head flit routes through it.
+  for (int out_port = 0; out_port < kPortCount; ++out_port) {
+    const int start = rr_[static_cast<std::size_t>(out_port)];
+    for (int k = 0; k < kPortCount; ++k) {
+      const int in_port = (start + k) % kPortCount;
+      auto& q = in_[static_cast<std::size_t>(in_port)];
+      if (q.empty()) continue;
+      const Direction want = mesh.route(id_, q.front().dst);
+      if (static_cast<int>(want) != out_port) continue;
+      out[static_cast<std::size_t>(out_port)] = std::move(q.front());
+      q.pop_front();
+      rr_[static_cast<std::size_t>(out_port)] = (in_port + 1) % kPortCount;
+      break;
+    }
+  }
+}
+
+}  // namespace tsvcod::noc

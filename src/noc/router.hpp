@@ -1,0 +1,47 @@
+#pragma once
+// Cycle-accurate single-flit router for the 3D-mesh NoC.
+//
+// Model: store-and-forward, one flit per packet, one flit per output link
+// per cycle, round-robin arbitration over the input ports contending for the
+// same output. Queues are unbounded (the simulator reports occupancy so
+// saturation is visible); with XYZ dimension-order routing the network is
+// deadlock-free by construction.
+
+#include <array>
+#include <deque>
+
+#include "noc/topology.hpp"
+
+namespace tsvcod::noc {
+
+struct Flit {
+  std::uint64_t payload = 0;
+  NodeId src{};
+  NodeId dst{};
+  std::size_t injected_at = 0;  ///< cycle of injection
+};
+
+class Router {
+ public:
+  explicit Router(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+
+  /// Queue a flit arriving on `port` (Local = injection).
+  void accept(Direction port, Flit flit);
+
+  /// Pick at most one flit per output direction for this cycle (round-robin
+  /// over input ports, starting after the last winner). The chosen flits are
+  /// removed from their input queues.
+  /// `out[d]` holds the flit departing through direction d (Local = eject).
+  void arbitrate(const Mesh3D& mesh, std::array<std::optional<Flit>, kPortCount>& out);
+
+  std::size_t queued() const;
+
+ private:
+  NodeId id_;
+  std::array<std::deque<Flit>, kPortCount> in_;
+  std::array<int, kPortCount> rr_{};  ///< round-robin pointer per output port
+};
+
+}  // namespace tsvcod::noc

@@ -1,0 +1,64 @@
+#include "noc/topology.hpp"
+
+namespace tsvcod::noc {
+
+Mesh3D::Mesh3D(std::size_t nx, std::size_t ny, std::size_t nz) : nx_(nx), ny_(ny), nz_(nz) {
+  if (nx == 0 || ny == 0 || nz == 0) throw std::invalid_argument("Mesh3D: empty dimension");
+}
+
+std::size_t Mesh3D::index(NodeId n) const {
+  if (n.x >= nx_ || n.y >= ny_ || n.z >= nz_) throw std::out_of_range("Mesh3D::index");
+  return (n.z * ny_ + n.y) * nx_ + n.x;
+}
+
+NodeId Mesh3D::node(std::size_t index) const {
+  if (index >= node_count()) throw std::out_of_range("Mesh3D::node");
+  NodeId n;
+  n.x = index % nx_;
+  n.y = (index / nx_) % ny_;
+  n.z = index / (nx_ * ny_);
+  return n;
+}
+
+std::optional<NodeId> Mesh3D::neighbor(NodeId n, Direction d) const {
+  switch (d) {
+    case Direction::XPlus:
+      if (n.x + 1 >= nx_) return std::nullopt;
+      return NodeId{n.x + 1, n.y, n.z};
+    case Direction::XMinus:
+      if (n.x == 0) return std::nullopt;
+      return NodeId{n.x - 1, n.y, n.z};
+    case Direction::YPlus:
+      if (n.y + 1 >= ny_) return std::nullopt;
+      return NodeId{n.x, n.y + 1, n.z};
+    case Direction::YMinus:
+      if (n.y == 0) return std::nullopt;
+      return NodeId{n.x, n.y - 1, n.z};
+    case Direction::ZPlus:
+      if (n.z + 1 >= nz_) return std::nullopt;
+      return NodeId{n.x, n.y, n.z + 1};
+    case Direction::ZMinus:
+      if (n.z == 0) return std::nullopt;
+      return NodeId{n.x, n.y, n.z - 1};
+    case Direction::Local:
+      return n;
+  }
+  return std::nullopt;
+}
+
+Direction Mesh3D::route(NodeId at, NodeId dst) const {
+  if (at.x < dst.x) return Direction::XPlus;
+  if (at.x > dst.x) return Direction::XMinus;
+  if (at.y < dst.y) return Direction::YPlus;
+  if (at.y > dst.y) return Direction::YMinus;
+  if (at.z < dst.z) return Direction::ZPlus;
+  if (at.z > dst.z) return Direction::ZMinus;
+  return Direction::Local;
+}
+
+std::size_t Mesh3D::hop_count(NodeId from, NodeId to) const {
+  const auto d = [](std::size_t a, std::size_t b) { return a > b ? a - b : b - a; };
+  return d(from.x, to.x) + d(from.y, to.y) + d(from.z, to.z);
+}
+
+}  // namespace tsvcod::noc

@@ -1,0 +1,66 @@
+#pragma once
+// 3D-mesh NoC topology (paper Sec. 7, last experiment: "we assume a 3D
+// network on chip, where the data is mainly transmitted over 2D links").
+//
+// Nodes sit on an nx x ny x nz grid; each node has up to six neighbours.
+// Vertical (+z/-z) links are the TSV bundles this library optimizes; the
+// planar links are metal wires (where the coupling-invert code of the last
+// experiment comes from).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace tsvcod::noc {
+
+enum class Direction : std::uint8_t { XPlus, XMinus, YPlus, YMinus, ZPlus, ZMinus, Local };
+
+inline constexpr int kPortCount = 7;  ///< six directions + local injection/ejection
+
+struct NodeId {
+  std::size_t x = 0, y = 0, z = 0;
+  bool operator==(const NodeId&) const = default;
+};
+
+class Mesh3D {
+ public:
+  Mesh3D(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t node_count() const { return nx_ * ny_ * nz_; }
+
+  std::size_t index(NodeId n) const;
+  NodeId node(std::size_t index) const;
+
+  /// Neighbour in a direction, if it exists.
+  std::optional<NodeId> neighbor(NodeId n, Direction d) const;
+
+  /// Dimension-order (X, then Y, then Z) routing: the output direction a
+  /// flit at `at` takes towards `dst`; Local when it has arrived. XYZ order
+  /// is deadlock-free on a mesh.
+  Direction route(NodeId at, NodeId dst) const;
+
+  /// Number of hops of the XYZ route.
+  std::size_t hop_count(NodeId from, NodeId to) const;
+
+  /// True if the link (from, d) is vertical (a TSV bundle).
+  static bool is_vertical(Direction d) {
+    return d == Direction::ZPlus || d == Direction::ZMinus;
+  }
+
+ private:
+  std::size_t nx_, ny_, nz_;
+};
+
+/// Identifies one unidirectional link: the sending node and its output port.
+struct LinkId {
+  NodeId from;
+  Direction out = Direction::Local;
+  bool operator==(const LinkId&) const = default;
+};
+
+}  // namespace tsvcod::noc

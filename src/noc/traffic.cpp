@@ -1,0 +1,98 @@
+#include "noc/traffic.hpp"
+
+#include <stdexcept>
+
+namespace tsvcod::noc {
+
+namespace {
+
+/// Packs two consecutive 16 b samples of a stream into one 32 b word.
+class PackedPairStream final : public streams::WordStream {
+ public:
+  explicit PackedPairStream(std::unique_ptr<streams::WordStream> inner)
+      : inner_(std::move(inner)) {}
+  std::size_t width() const override { return 32; }
+  std::uint64_t next() override { return inner_->next() | (inner_->next() << 16); }
+
+ private:
+  std::unique_ptr<streams::WordStream> inner_;
+};
+
+/// Four consecutive luminance bytes of an image per 32 b flit (DMA bursts).
+class ImageDmaStream final : public streams::WordStream {
+ public:
+  explicit ImageDmaStream(std::uint64_t seed) : pixels_(streams::ImageParams{}, seed) {}
+  std::size_t width() const override { return 32; }
+  std::uint64_t next() override {
+    std::uint64_t w = 0;
+    for (int k = 0; k < 4; ++k) w |= pixels_.next() << (8 * k);
+    return w;
+  }
+
+ private:
+  streams::GrayscaleStream pixels_;
+};
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(const Mesh3D& mesh, const TrafficConfig& config)
+    : mesh_(mesh), config_(config), rng_(config.seed) {
+  if (config.injection_rate < 0.0 || config.injection_rate > 1.0) {
+    throw std::invalid_argument("TrafficGenerator: injection rate outside [0, 1]");
+  }
+  if (config.flit_width == 0 || config.flit_width > 64) {
+    throw std::invalid_argument("TrafficGenerator: bad flit width");
+  }
+  switch (config.payload) {
+    case PayloadModel::Random:
+      payload_stream_ =
+          std::make_unique<streams::UniformRandomStream>(config.flit_width, config.seed + 1);
+      break;
+    case PayloadModel::Dsp:
+      payload_stream_ = std::make_unique<PackedPairStream>(
+          std::make_unique<streams::GaussianAr1Stream>(16, 1200.0, 0.7, config.seed + 1));
+      break;
+    case PayloadModel::ImageDma:
+      payload_stream_ = std::make_unique<ImageDmaStream>(config.seed + 1);
+      break;
+  }
+}
+
+NodeId TrafficGenerator::pick_destination(NodeId src) {
+  switch (config_.spatial) {
+    case SpatialPattern::Uniform: {
+      std::uniform_int_distribution<std::size_t> pick(0, mesh_.node_count() - 1);
+      NodeId dst = mesh_.node(pick(rng_));
+      while (dst == src) dst = mesh_.node(pick(rng_));
+      return dst;
+    }
+    case SpatialPattern::Hotspot: {
+      // Fetch from the memory die: same (x, y), top layer.
+      NodeId dst{src.x, src.y, mesh_.nz() - 1};
+      if (dst == src) dst.z = 0;  // nodes already on top talk to the bottom
+      return dst;
+    }
+    case SpatialPattern::Transpose:
+      return NodeId{src.y % mesh_.nx(), src.x % mesh_.ny(), mesh_.nz() - 1 - src.z};
+  }
+  throw std::logic_error("TrafficGenerator: unknown spatial pattern");
+}
+
+std::uint64_t TrafficGenerator::next_payload() {
+  return payload_stream_->next() & streams::width_mask(config_.flit_width);
+}
+
+std::optional<Flit> TrafficGenerator::generate(NodeId node, std::size_t cycle) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  if (uni(rng_) >= config_.injection_rate) return std::nullopt;
+  NodeId dst = pick_destination(node);
+  if (dst == node) return std::nullopt;  // degenerate transpose fixed points
+  Flit f;
+  f.payload = next_payload();
+  f.src = node;
+  f.dst = dst;
+  f.injected_at = cycle;
+  return f;
+}
+
+}  // namespace tsvcod::noc

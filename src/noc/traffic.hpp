@@ -1,0 +1,54 @@
+#pragma once
+// Traffic generation for the 3D-mesh NoC.
+//
+// Spatial patterns (who talks to whom):
+//  * Uniform  — uniformly random destinations.
+//  * Hotspot  — all traffic targets the top layer (logic-under-memory
+//               stacking: every node fetches from the memory die above),
+//               which concentrates flits on the vertical TSV links.
+//  * Transpose— (x,y,z) -> (y,x,nz-1-z), a classic adversarial pattern.
+//
+// Payload models (what the flits carry — this is what the bit-to-TSV
+// assignment exploits):
+//  * Random   — incompressible data.
+//  * Dsp      — 2 x 16 b Gaussian AR(1) samples packed per 32 b flit.
+//  * ImageDma — consecutive bytes of a synthetic image, 4 pixels per flit.
+
+#include <memory>
+#include <random>
+
+#include "noc/router.hpp"
+#include "streams/image_sensor.hpp"
+#include "streams/random_streams.hpp"
+
+namespace tsvcod::noc {
+
+enum class SpatialPattern { Uniform, Hotspot, Transpose };
+enum class PayloadModel { Random, Dsp, ImageDma };
+
+struct TrafficConfig {
+  SpatialPattern spatial = SpatialPattern::Hotspot;
+  PayloadModel payload = PayloadModel::Random;
+  double injection_rate = 0.1;  ///< flits per node per cycle
+  std::size_t flit_width = 32;
+  std::uint64_t seed = 1;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const Mesh3D& mesh, const TrafficConfig& config);
+
+  /// Flits injected at `node` in this cycle (0 or 1 in this model).
+  std::optional<Flit> generate(NodeId node, std::size_t cycle);
+
+ private:
+  NodeId pick_destination(NodeId src);
+  std::uint64_t next_payload();
+
+  const Mesh3D& mesh_;
+  TrafficConfig config_;
+  std::mt19937_64 rng_;
+  std::unique_ptr<streams::WordStream> payload_stream_;
+};
+
+}  // namespace tsvcod::noc

@@ -1,0 +1,83 @@
+#include "phys/depletion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phys/constants.hpp"
+
+namespace tsvcod::phys {
+
+double MosParams::acceptor_density() const {
+  return acceptor_density_for_conductivity(substrate_sigma);
+}
+
+double coaxial_capacitance_per_length(double r_in, double r_out, double eps_r) {
+  if (!(r_in > 0.0) || !(r_out > r_in)) {
+    throw std::invalid_argument("coaxial_capacitance_per_length: need 0 < r_in < r_out");
+  }
+  return 2.0 * pi * eps0 * eps_r / std::log(r_out / r_in);
+}
+
+namespace {
+
+/// Voltage drop across oxide + depletion for a depletion width w [V].
+double bias_for_width(double r, double t_ox, double w, double n_a) {
+  const double r1 = r + t_ox;
+  const double r2 = r1 + w;
+  const double eps_si_abs = eps0 * eps_r_si;
+  // Depletion charge per unit length.
+  const double q_dep = q_e * n_a * pi * (r2 * r2 - r1 * r1);
+  const double c_ox = coaxial_capacitance_per_length(r, r1, eps_r_sio2);
+  const double v_ox = q_dep / c_ox;
+  const double psi_s = q_e * n_a / (2.0 * eps_si_abs) *
+                       (r2 * r2 * std::log(r2 / r1) - 0.5 * (r2 * r2 - r1 * r1));
+  return v_ox + psi_s;
+}
+
+}  // namespace
+
+double depletion_width(double r, double t_ox, double v_tsv, const MosParams& mos) {
+  if (!(r > 0.0) || !(t_ox > 0.0)) {
+    throw std::invalid_argument("depletion_width: need positive r and t_ox");
+  }
+  const double v_eff = v_tsv - mos.flatband_voltage;
+  if (v_eff <= 0.0) return 0.0;  // accumulation / flatband
+  const double n_a = mos.acceptor_density();
+
+  // Bracket: bias_for_width is strictly increasing in w.
+  double lo = 0.0;
+  double hi = 1e-7;
+  while (bias_for_width(r, t_ox, hi, n_a) < v_eff) {
+    hi *= 2.0;
+    if (hi > 1e-3) break;  // physically absurd; clamp below
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (bias_for_width(r, t_ox, mid, n_a) < v_eff) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double depletion_width_for_probability(double r, double t_ox, double pr,
+                                       const MosParams& mos) {
+  if (pr < 0.0 || pr > 1.0) {
+    throw std::invalid_argument("depletion_width_for_probability: pr outside [0,1]");
+  }
+  return depletion_width(r, t_ox, pr * mos.vdd, mos);
+}
+
+double mos_capacitance_per_length(double r, double t_ox, double pr,
+                                  const MosParams& mos) {
+  const double r1 = r + t_ox;
+  const double c_ox = coaxial_capacitance_per_length(r, r1, eps_r_sio2);
+  const double w = depletion_width_for_probability(r, t_ox, pr, mos);
+  if (w <= 0.0) return c_ox;
+  const double c_dep = coaxial_capacitance_per_length(r1, r1 + w, eps_r_si);
+  return 1.0 / (1.0 / c_ox + 1.0 / c_dep);
+}
+
+}  // namespace tsvcod::phys

@@ -1,0 +1,56 @@
+#pragma once
+// Cylindrical deep-depletion MOS model for a TSV.
+//
+// A copper TSV, its SiO2 liner and the p-doped substrate form a MOS
+// capacitor. A positive TSV voltage pushes the structure into (deep)
+// depletion: at GHz switching rates no inversion layer can form, so the
+// depletion width keeps following the applied bias (Bandyopadhyay et al.,
+// TCPMT 2011). The DAC'18 paper models the depleted annulus as a sigma = 0
+// region whose width follows from the exact cylindrical Poisson equation at
+// the *average* TSV voltage pr_i * Vdd, where pr_i is the 1-bit probability.
+//
+// This header provides that solve plus the per-unit-length capacitances of
+// the coaxial oxide / depletion annuli.
+
+namespace tsvcod::phys {
+
+/// Doping/bias parameters of the MOS junction around a TSV.
+struct MosParams {
+  double substrate_sigma = 10.0;  ///< p-substrate conductivity [S/m]
+  /// V_FB of the Cu/SiO2/p-Si stack [V]. The default 0 V assumes work-
+  /// function difference and oxide charge roughly cancel, which yields the
+  /// full accumulation-to-deep-depletion capacitance swing the paper's
+  /// reference [6] reports (up to ~40 %).
+  double flatband_voltage = 0.0;
+  double vdd = 1.0;               ///< supply voltage [V]
+
+  /// Acceptor density implied by the substrate conductivity [1/m^3].
+  double acceptor_density() const;
+};
+
+/// Per-unit-length capacitance of a coaxial annulus (r_in < r_out) [F/m].
+double coaxial_capacitance_per_length(double r_in, double r_out, double eps_r);
+
+/// Depletion width [m] around a TSV of metal radius `r` with oxide thickness
+/// `t_ox`, biased at `v_tsv` volts relative to the grounded substrate.
+/// Returns 0 when the junction is in accumulation (v_tsv <= V_FB).
+///
+/// Solves, by bisection on w, the cylindrical deep-depletion balance
+///   v_tsv - V_FB = Q_dep / C_ox' + psi_s(w)
+/// with  Q_dep  = q*N_A*pi*((R1+w)^2 - R1^2)   (charge per unit length)
+///       psi_s  = q*N_A/(2*eps_si) * [ (R1+w)^2 ln((R1+w)/R1) - ((R1+w)^2-R1^2)/2 ]
+/// where R1 = r + t_ox is the oxide outer radius.
+double depletion_width(double r, double t_ox, double v_tsv, const MosParams& mos);
+
+/// Depletion width at the average voltage pr * Vdd of a signal with 1-bit
+/// probability `pr` (the paper's Sec. 2 recipe).
+double depletion_width_for_probability(double r, double t_ox, double pr,
+                                       const MosParams& mos);
+
+/// Per-unit-length series MOS capacitance (oxide in series with the depleted
+/// annulus) of a TSV at 1-bit probability `pr` [F/m]. With w = 0 this is the
+/// plain oxide capacitance (accumulation: conductive Si reaches the liner).
+double mos_capacitance_per_length(double r, double t_ox, double pr,
+                                  const MosParams& mos);
+
+}  // namespace tsvcod::phys

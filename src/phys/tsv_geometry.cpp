@@ -1,0 +1,45 @@
+#include "phys/tsv_geometry.hpp"
+
+#include <cmath>
+
+namespace tsvcod::phys {
+
+int TsvArrayGeometry::direct_neighbor_count(std::size_t i) const {
+  const std::size_t r = row_of(i);
+  const std::size_t c = col_of(i);
+  int n = 0;
+  if (r > 0) ++n;
+  if (r + 1 < rows) ++n;
+  if (c > 0) ++n;
+  if (c + 1 < cols) ++n;
+  return n;
+}
+
+int TsvArrayGeometry::diagonal_neighbor_count(std::size_t i) const {
+  const std::size_t r = row_of(i);
+  const std::size_t c = col_of(i);
+  int n = 0;
+  if (r > 0 && c > 0) ++n;
+  if (r > 0 && c + 1 < cols) ++n;
+  if (r + 1 < rows && c > 0) ++n;
+  if (r + 1 < rows && c + 1 < cols) ++n;
+  return n;
+}
+
+double TsvArrayGeometry::distance(std::size_t i, std::size_t j) const {
+  const Point2 a = position(i);
+  const Point2 b = position(j);
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+void TsvArrayGeometry::validate() const {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("TsvArrayGeometry: empty array");
+  if (!(radius > 0.0) || !(pitch > 0.0) || !(length > 0.0)) {
+    throw std::invalid_argument("TsvArrayGeometry: non-positive dimensions");
+  }
+  if (pitch < 2.0 * liner_radius()) {
+    throw std::invalid_argument("TsvArrayGeometry: TSV liners overlap (pitch too small)");
+  }
+}
+
+}  // namespace tsvcod::phys

@@ -1,0 +1,75 @@
+#include "stats/dbt_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "phys/constants.hpp"
+
+namespace tsvcod::stats {
+
+namespace {
+
+double log2_clamped(double v) { return std::log2(std::max(v, 1.0)); }
+
+}  // namespace
+
+std::size_t dbt_bp0(const DbtParams& p) {
+  // Landman-Rabaey: BP0 = log2(sigma) + log2(sqrt(1 - rho^2)) bounded to the word.
+  const double bp = log2_clamped(p.sigma * std::sqrt(std::max(1e-12, 1.0 - p.rho * p.rho)));
+  return std::min<std::size_t>(p.width, static_cast<std::size_t>(std::max(0.0, std::floor(bp))));
+}
+
+std::size_t dbt_bp1(const DbtParams& p) {
+  // Sign-like behaviour from about 3 sigma upwards.
+  const double bp = log2_clamped(3.0 * p.sigma);
+  const std::size_t b = static_cast<std::size_t>(std::max(0.0, std::ceil(bp)));
+  return std::min<std::size_t>(p.width, std::max(b, dbt_bp0(p)));
+}
+
+double sign_toggle_probability(double rho) {
+  if (!(rho > -1.0) || !(rho < 1.0)) {
+    throw std::invalid_argument("sign_toggle_probability: rho must be in (-1, 1)");
+  }
+  return std::acos(rho) / phys::pi;
+}
+
+SwitchingStats dbt_stats(const DbtParams& p) {
+  if (p.width == 0 || p.width > 64) throw std::invalid_argument("dbt_stats: bad width");
+  const std::size_t bp0 = dbt_bp0(p);
+  const std::size_t bp1 = dbt_bp1(p);
+  const double msb_self = sign_toggle_probability(p.rho);
+
+  SwitchingStats s;
+  s.width = p.width;
+  s.transitions = 0;  // analytic, not measured
+  s.self.resize(p.width);
+  s.prob_one.assign(p.width, 0.5);  // zero-mean two's complement
+  s.coupling = phys::Matrix(p.width, p.width);
+
+  // "MSB-ness" of each bit: 0 below BP0, 1 above BP1, linear in between.
+  auto msbness = [&](std::size_t bit) -> double {
+    if (bit < bp0) return 0.0;
+    if (bit >= bp1) return 1.0;
+    if (bp1 == bp0) return 1.0;
+    return static_cast<double>(bit - bp0 + 1) / static_cast<double>(bp1 - bp0 + 1);
+  };
+
+  for (std::size_t i = 0; i < p.width; ++i) {
+    const double m = msbness(i);
+    s.self[i] = 0.5 * (1.0 - m) + msb_self * m;
+    s.coupling(i, i) = s.self[i];
+  }
+  // Pairwise switching correlation: only the shared sign region correlates.
+  // Two pure MSBs switch in lockstep, so E{db_i db_j} = E{db^2} = msb_self.
+  for (std::size_t i = 0; i < p.width; ++i) {
+    for (std::size_t j = i + 1; j < p.width; ++j) {
+      const double c = msbness(i) * msbness(j) * msb_self;
+      s.coupling(i, j) = c;
+      s.coupling(j, i) = c;
+    }
+  }
+  return s;
+}
+
+}  // namespace tsvcod::stats

@@ -1,0 +1,37 @@
+#pragma once
+// Dual-bit-type (DBT) analytic switching model (Landman & Rabaey, TVLSI'95;
+// paper Sec. 4).
+//
+// Two's-complement encodings of zero-mean Gaussian processes have two bit
+// regions: uncorrelated LSBs that toggle like fair coins, and MSBs that all
+// mirror the sign bit. For a lag-1 autocorrelation rho, the sign of a
+// stationary Gaussian AR(1) process changes with probability acos(rho)/pi,
+// which is both the MSB self-switching activity and (for a shared sign) the
+// pairwise MSB switching correlation. Between the breakpoints the behaviour
+// interpolates. This analytic model seeds the systematic assignments when no
+// sample stream is available and cross-checks the measured statistics.
+
+#include <cstddef>
+
+#include "stats/switching_stats.hpp"
+
+namespace tsvcod::stats {
+
+struct DbtParams {
+  std::size_t width = 16;   ///< word width (two's complement)
+  double sigma = 1024.0;    ///< standard deviation in LSBs
+  double rho = 0.0;         ///< lag-1 temporal correlation, in (-1, 1)
+};
+
+/// Lower breakpoint BP0: bits below it are pure LSB-type (activity 1/2).
+std::size_t dbt_bp0(const DbtParams& p);
+/// Upper breakpoint BP1: bits at or above it are pure MSB/sign-type.
+std::size_t dbt_bp1(const DbtParams& p);
+
+/// Sign-change probability of a stationary Gaussian AR(1) process.
+double sign_toggle_probability(double rho);
+
+/// Analytic switching statistics for the DBT signal model.
+SwitchingStats dbt_stats(const DbtParams& p);
+
+}  // namespace tsvcod::stats

@@ -1,0 +1,26 @@
+#include "stats/subset.hpp"
+
+#include <stdexcept>
+
+namespace tsvcod::stats {
+
+SwitchingStats subset_stats(const SwitchingStats& source, std::span<const std::size_t> bits) {
+  if (bits.empty()) throw std::invalid_argument("subset_stats: empty selection");
+  SwitchingStats out;
+  out.width = bits.size();
+  out.transitions = source.transitions;
+  out.self.resize(bits.size());
+  out.prob_one.resize(bits.size());
+  out.coupling = phys::Matrix(bits.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] >= source.width) throw std::out_of_range("subset_stats: bit out of range");
+    out.self[i] = source.self[bits[i]];
+    out.prob_one[i] = source.prob_one[bits[i]];
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+      out.coupling(i, j) = source.coupling(bits[i], bits[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsvcod::stats

@@ -1,0 +1,15 @@
+#pragma once
+// Sub-statistics extraction: the statistics of a subset of bits, for buses
+// that are split across several TSV bundles.
+
+#include <span>
+
+#include "stats/switching_stats.hpp"
+
+namespace tsvcod::stats {
+
+/// Statistics of the selected bits (in the given order). Bit k of the result
+/// corresponds to `bits[k]` of the source.
+SwitchingStats subset_stats(const SwitchingStats& source, std::span<const std::size_t> bits);
+
+}  // namespace tsvcod::stats

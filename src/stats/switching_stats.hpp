@@ -1,0 +1,60 @@
+#pragma once
+// Bit-level switching statistics of a word stream (paper Sec. 3, Eq. 1-3).
+//
+// For an N-bit stream the power model needs three quantities per line/pair:
+//   * self switching        E{db_i^2}      (db in {-1, 0, +1})
+//   * switching correlation E{db_i db_j}
+//   * 1-bit probability     E{b_i}         (drives the MOS capacitance)
+// `StatsAccumulator` measures them in one pass; `SwitchingStats` packages
+// them and builds the T matrix of Eq. 3.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phys/matrix.hpp"
+
+namespace tsvcod::stats {
+
+struct SwitchingStats {
+  std::size_t width = 0;
+  std::size_t transitions = 0;          ///< number of pattern transitions observed
+  std::vector<double> self;             ///< E{db_i^2}
+  std::vector<double> prob_one;         ///< E{b_i}
+  phys::Matrix coupling;                ///< E{db_i db_j}; diagonal equals `self`
+
+  /// Shifted probabilities eps_i = E{b_i} - 1/2 (Eq. 8).
+  std::vector<double> eps() const;
+
+  /// T = T_s * 1_{NxN} - T_c (Eq. 3): T_ii = self_i, T_ij = self_i - coupling_ij.
+  phys::Matrix t_matrix() const;
+};
+
+class StatsAccumulator {
+ public:
+  explicit StatsAccumulator(std::size_t width);
+
+  std::size_t width() const { return width_; }
+
+  /// Feed the next word of the stream.
+  void add(std::uint64_t word);
+
+  /// Number of words consumed so far.
+  std::size_t samples() const { return samples_; }
+
+  /// Produce the statistics gathered so far (needs >= 2 words).
+  SwitchingStats finish() const;
+
+ private:
+  std::size_t width_;
+  std::size_t samples_ = 0;
+  std::uint64_t prev_ = 0;
+  std::vector<double> ones_;                  ///< count of 1s per bit
+  std::vector<double> self_;                  ///< count of transitions per bit
+  phys::Matrix cross_;                        ///< sum of db_i*db_j
+};
+
+/// One-shot statistics of a word sequence.
+SwitchingStats compute_stats(std::span<const std::uint64_t> words, std::size_t width);
+
+}  // namespace tsvcod::stats

@@ -1,0 +1,62 @@
+#include "stats/windowed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvcod::stats {
+
+WindowedAccumulator::WindowedAccumulator(std::size_t width, double half_life)
+    : width_(width), ones_(width, 0.0), self_(width, 0.0), cross_(width, width) {
+  if (width == 0 || width > 64) throw std::invalid_argument("WindowedAccumulator: bad width");
+  if (!(half_life > 0.0)) throw std::invalid_argument("WindowedAccumulator: bad half life");
+  alpha_ = std::exp2(-1.0 / half_life);
+}
+
+void WindowedAccumulator::add(std::uint64_t word) {
+  if (width_ < 64) word &= (std::uint64_t{1} << width_) - 1;
+  // Decay everything, then add the new sample at weight 1.
+  weight_words_ = weight_words_ * alpha_ + 1.0;
+  for (auto& v : ones_) v *= alpha_;
+  for (std::size_t i = 0; i < width_; ++i) {
+    if ((word >> i) & 1u) ones_[i] += 1.0;
+  }
+  if (samples_ > 0) {
+    weight_trans_ = weight_trans_ * alpha_ + 1.0;
+    for (auto& v : self_) v *= alpha_;
+    for (auto& v : cross_.data()) v *= alpha_;
+    for (std::size_t i = 0; i < width_; ++i) {
+      const int dbi = static_cast<int>((word >> i) & 1u) - static_cast<int>((prev_ >> i) & 1u);
+      if (dbi == 0) continue;
+      self_[i] += 1.0;
+      for (std::size_t j = i + 1; j < width_; ++j) {
+        const int dbj = static_cast<int>((word >> j) & 1u) - static_cast<int>((prev_ >> j) & 1u);
+        if (dbj != 0) cross_(i, j) += static_cast<double>(dbi * dbj);
+      }
+    }
+  }
+  prev_ = word;
+  ++samples_;
+}
+
+SwitchingStats WindowedAccumulator::snapshot() const {
+  if (samples_ < 2) throw std::logic_error("WindowedAccumulator: need at least two words");
+  SwitchingStats s;
+  s.width = width_;
+  s.transitions = samples_ - 1;
+  s.self.resize(width_);
+  s.prob_one.resize(width_);
+  s.coupling = phys::Matrix(width_, width_);
+  for (std::size_t i = 0; i < width_; ++i) {
+    s.self[i] = self_[i] / weight_trans_;
+    s.prob_one[i] = ones_[i] / weight_words_;
+    s.coupling(i, i) = s.self[i];
+    for (std::size_t j = i + 1; j < width_; ++j) {
+      const double c = cross_(i, j) / weight_trans_;
+      s.coupling(i, j) = c;
+      s.coupling(j, i) = c;
+    }
+  }
+  return s;
+}
+
+}  // namespace tsvcod::stats

@@ -1,0 +1,43 @@
+#pragma once
+// Exponentially-weighted streaming statistics.
+//
+// The paper fixes the assignment at design time from sample data. A run-time
+// monitor (e.g. firmware choosing between stored assignments, or a
+// reconfigurable inverting-driver bank) instead needs statistics that track
+// the *recent* signal: this accumulator keeps exponentially-weighted
+// estimates of E{b}, E{db^2} and E{db_i db_j} with a configurable time
+// constant, in O(N^2) per word like the batch accumulator.
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/switching_stats.hpp"
+
+namespace tsvcod::stats {
+
+class WindowedAccumulator {
+ public:
+  /// `half_life`: number of words after which a sample's weight halves.
+  WindowedAccumulator(std::size_t width, double half_life);
+
+  std::size_t width() const { return width_; }
+  std::size_t samples() const { return samples_; }
+
+  void add(std::uint64_t word);
+
+  /// Current estimates (needs >= 2 words).
+  SwitchingStats snapshot() const;
+
+ private:
+  std::size_t width_;
+  double alpha_;  ///< per-word decay factor
+  std::size_t samples_ = 0;
+  std::uint64_t prev_ = 0;
+  double weight_words_ = 0.0;   ///< total decayed weight of word samples
+  double weight_trans_ = 0.0;   ///< total decayed weight of transitions
+  std::vector<double> ones_;
+  std::vector<double> self_;
+  phys::Matrix cross_;
+};
+
+}  // namespace tsvcod::stats

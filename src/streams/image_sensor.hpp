@@ -1,0 +1,110 @@
+#pragma once
+// Synthetic image-sensor streams (paper Sec. 5.1: 3D vision system on chip).
+//
+// Real camera material is substituted by synthetic images with natural-image
+// statistics: a sum of random low-frequency cosines with 1/f amplitude decay
+// (strong neighbouring-pixel correlation, the property the Spiral assignment
+// exploits) plus sensor noise. Red/green/blue planes share a common luminance
+// field, giving the inter-channel correlation of real scenes. A sequence of
+// differently seeded images stands in for the paper's "pictures of cars,
+// people and landscapes".
+//
+// Streams provided (all 0-255 per component, RGGB Bayer mosaic):
+//  * BayerQuadStream — all four colors of a Bayer cell in parallel (32 bit).
+//  * BayerMuxStream  — R, G1, G2, B time-multiplexed over 8 lines.
+//  * GrayscaleStream — one luminance pixel per cycle over 8 lines.
+
+#include <cstdint>
+#include <vector>
+
+#include "streams/word_stream.hpp"
+
+namespace tsvcod::streams {
+
+struct ImageParams {
+  std::size_t width = 64;
+  std::size_t height = 48;
+  int components = 24;    ///< number of random cosine components
+  double noise = 3.0;     ///< white sensor noise sigma [LSB]
+  /// Weight of the per-channel (chroma) field and offset versus the shared
+  /// luminance. Real scenes have strongly distinct R/G/B levels, which is
+  /// what makes color multiplexing destroy the wire-level correlation
+  /// (paper Sec. 5.1/7); lowering this yields grayscale-ish material.
+  double chroma = 1.8;
+};
+
+/// One synthetic RGB image, deterministically generated from a seed.
+class SyntheticImage {
+ public:
+  SyntheticImage(const ImageParams& params, std::uint64_t seed);
+
+  std::size_t width() const { return params_.width; }
+  std::size_t height() const { return params_.height; }
+
+  std::uint8_t red(std::size_t x, std::size_t y) const { return plane(0, x, y); }
+  std::uint8_t green(std::size_t x, std::size_t y) const { return plane(1, x, y); }
+  std::uint8_t blue(std::size_t x, std::size_t y) const { return plane(2, x, y); }
+  /// ITU-like luminance.
+  std::uint8_t luma(std::size_t x, std::size_t y) const;
+  /// Value of the RGGB Bayer color-filter-array element at (x, y).
+  std::uint8_t bayer(std::size_t x, std::size_t y) const;
+
+ private:
+  std::uint8_t plane(int p, std::size_t x, std::size_t y) const;
+
+  ImageParams params_;
+  std::vector<std::uint8_t> data_;  ///< 3 planes, row-major
+};
+
+/// Lazily generates a sequence of images with consecutive seeds.
+class ImageSequence {
+ public:
+  explicit ImageSequence(const ImageParams& params, std::uint64_t first_seed = 1);
+  const SyntheticImage& current() const { return image_; }
+  void advance();
+
+ private:
+  ImageParams params_;
+  std::uint64_t seed_;
+  SyntheticImage image_;
+};
+
+/// 32-bit parallel Bayer stream: word = R | G1<<8 | G2<<16 | B<<24 per 2x2
+/// Bayer cell, cells scanned row-major, images advancing automatically.
+class BayerQuadStream final : public WordStream {
+ public:
+  explicit BayerQuadStream(const ImageParams& params = {}, std::uint64_t first_seed = 1);
+  std::size_t width() const override { return 32; }
+  std::uint64_t next() override;
+
+ private:
+  ImageSequence seq_;
+  std::size_t cell_ = 0;
+};
+
+/// 8-bit multiplexed Bayer stream: R, G1, G2, B of each cell in sequence.
+class BayerMuxStream final : public WordStream {
+ public:
+  explicit BayerMuxStream(const ImageParams& params = {}, std::uint64_t first_seed = 1);
+  std::size_t width() const override { return 8; }
+  std::uint64_t next() override;
+
+ private:
+  ImageSequence seq_;
+  std::size_t cell_ = 0;
+  std::size_t component_ = 0;
+};
+
+/// 8-bit grayscale pixel stream.
+class GrayscaleStream final : public WordStream {
+ public:
+  explicit GrayscaleStream(const ImageParams& params = {}, std::uint64_t first_seed = 1);
+  std::size_t width() const override { return 8; }
+  std::uint64_t next() override;
+
+ private:
+  ImageSequence seq_;
+  std::size_t pixel_ = 0;
+};
+
+}  // namespace tsvcod::streams

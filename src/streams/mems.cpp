@@ -1,0 +1,102 @@
+#include "streams/mems.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/constants.hpp"
+#include "streams/random_streams.hpp"
+
+namespace tsvcod::streams {
+
+namespace {
+
+constexpr double kDt = 0.01;           // 100 Hz sample rate
+constexpr double kGravityCounts = 16384.0;  // 1 g at +-2 g full scale
+constexpr double kEarthFieldCounts = 3300.0;  // ~50 uT at +-4900 uT full scale
+
+}  // namespace
+
+MemsSensorModel::MemsSensorModel(MemsKind kind, std::uint64_t seed) : kind_(kind), rng_(seed) {}
+
+double MemsSensorModel::ou_step(double state, double tau, double sigma, double dt, double noise) {
+  const double alpha = std::exp(-dt / tau);
+  return alpha * state + sigma * std::sqrt(1.0 - alpha * alpha) * noise;
+}
+
+MemsSensorModel::Sample MemsSensorModel::next() {
+  t_ += kDt;
+  // Slow activity envelope in [0, 1]: rest and motion phases of daily use.
+  envelope_ = std::clamp(ou_step(envelope_ - 0.5, 8.0, 0.35, kDt, normal_(rng_)) + 0.5, 0.0, 1.0);
+
+  Sample s;
+  switch (kind_) {
+    case MemsKind::Accelerometer: {
+      const double cadence = 2.0 * phys::pi * 1.8 * t_;  // walking at 1.8 Hz
+      ou_.x = ou_step(ou_.x, 0.3, 500.0, kDt, normal_(rng_));
+      ou_.y = ou_step(ou_.y, 0.3, 500.0, kDt, normal_(rng_));
+      ou_.z = ou_step(ou_.z, 0.2, 700.0, kDt, normal_(rng_));
+      s.x = envelope_ * (900.0 * std::sin(cadence * 0.5) + ou_.x) + 60.0 * normal_(rng_);
+      s.y = envelope_ * (700.0 * std::sin(cadence * 0.5 + 1.3) + ou_.y) + 60.0 * normal_(rng_);
+      s.z = kGravityCounts + envelope_ * (2200.0 * std::sin(cadence) + ou_.z) +
+            60.0 * normal_(rng_);
+      break;
+    }
+    case MemsKind::Gyroscope: {
+      ou_.x = ou_step(ou_.x, 0.5, 3000.0, kDt, normal_(rng_));
+      ou_.y = ou_step(ou_.y, 0.5, 2500.0, kDt, normal_(rng_));
+      ou_.z = ou_step(ou_.z, 0.7, 2000.0, kDt, normal_(rng_));
+      s.x = envelope_ * ou_.x + 30.0 * normal_(rng_);
+      s.y = envelope_ * ou_.y + 30.0 * normal_(rng_);
+      s.z = envelope_ * ou_.z + 30.0 * normal_(rng_);
+      break;
+    }
+    case MemsKind::Magnetometer: {
+      // Direction random walk on the sphere; the magnitude wobbles slowly
+      // around the earth field (indoor ferromagnetic disturbances).
+      heading_ += 0.03 * std::sqrt(kDt) * normal_(rng_) + envelope_ * 0.002;
+      incline_ = std::clamp(incline_ + 0.02 * std::sqrt(kDt) * normal_(rng_), 0.3, 1.3);
+      ou_.x = ou_step(ou_.x, 5.0, 0.35, kDt, normal_(rng_));
+      const double field = kEarthFieldCounts * (1.0 + std::clamp(ou_.x, -0.6, 0.6));
+      s.x = field * std::sin(incline_) * std::cos(heading_) + 20.0 * normal_(rng_);
+      s.y = field * std::sin(incline_) * std::sin(heading_) + 20.0 * normal_(rng_);
+      s.z = field * std::cos(incline_) + 20.0 * normal_(rng_);
+      break;
+    }
+  }
+  return s;
+}
+
+MemsRmsStream::MemsRmsStream(MemsKind kind, std::uint64_t seed) : model_(kind, seed) {}
+
+std::uint64_t MemsRmsStream::next() {
+  const auto s = model_.next();
+  const double rms = std::sqrt((s.x * s.x + s.y * s.y + s.z * s.z) / 3.0);
+  const double clamped = std::clamp(rms, 0.0, 65535.0);
+  return static_cast<std::uint64_t>(std::llround(clamped));
+}
+
+MemsXyzStream::MemsXyzStream(MemsKind kind, std::uint64_t seed) : model_(kind, seed) {}
+
+std::uint64_t MemsXyzStream::next() {
+  if (axis_ >= 3) {
+    current_ = model_.next();
+    axis_ = 0;
+  }
+  double v = 0.0;
+  switch (axis_++) {
+    case 0: v = current_.x; break;
+    case 1: v = current_.y; break;
+    default: v = current_.z; break;
+  }
+  return GaussianAr1Stream::encode_twos_complement(static_cast<long long>(std::llround(v)), 16);
+}
+
+std::unique_ptr<WordStream> make_all_sensor_mux(std::uint64_t seed) {
+  std::vector<std::unique_ptr<WordStream>> inputs;
+  inputs.push_back(std::make_unique<MemsXyzStream>(MemsKind::Magnetometer, seed));
+  inputs.push_back(std::make_unique<MemsXyzStream>(MemsKind::Accelerometer, seed + 1));
+  inputs.push_back(std::make_unique<MemsXyzStream>(MemsKind::Gyroscope, seed + 2));
+  return std::make_unique<MuxStream>(std::move(inputs));
+}
+
+}  // namespace tsvcod::streams

@@ -1,0 +1,58 @@
+#include "streams/random_streams.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvcod::streams {
+
+UniformRandomStream::UniformRandomStream(std::size_t width, std::uint64_t seed)
+    : width_(width), rng_(seed) {
+  if (width == 0 || width > 64) throw std::invalid_argument("UniformRandomStream: bad width");
+}
+
+std::uint64_t UniformRandomStream::next() { return rng_() & width_mask(width_); }
+
+GaussianAr1Stream::GaussianAr1Stream(std::size_t width, double sigma, double rho,
+                                     std::uint64_t seed, double mean)
+    : width_(width), sigma_(sigma), rho_(rho), mean_(mean), rng_(seed) {
+  if (width == 0 || width > 63) throw std::invalid_argument("GaussianAr1Stream: bad width");
+  if (!(sigma > 0.0)) throw std::invalid_argument("GaussianAr1Stream: sigma must be positive");
+  if (!(rho > -1.0) || !(rho < 1.0)) throw std::invalid_argument("GaussianAr1Stream: |rho| < 1");
+  state_ = normal_(rng_);  // start in the stationary distribution
+}
+
+std::uint64_t GaussianAr1Stream::encode_twos_complement(long long value, std::size_t width) {
+  const long long lo = -(1ll << (width - 1));
+  const long long hi = (1ll << (width - 1)) - 1;
+  value = std::clamp(value, lo, hi);
+  return static_cast<std::uint64_t>(value) & width_mask(width);
+}
+
+std::uint64_t GaussianAr1Stream::next() {
+  state_ = rho_ * state_ + std::sqrt(1.0 - rho_ * rho_) * normal_(rng_);
+  const double sample = mean_ + sigma_ * state_;
+  return encode_twos_complement(static_cast<long long>(std::llround(sample)), width_);
+}
+
+SequentialStream::SequentialStream(std::size_t width, double branch_probability,
+                                   std::uint64_t seed)
+    : width_(width), branch_probability_(branch_probability), rng_(seed) {
+  if (width == 0 || width > 64) throw std::invalid_argument("SequentialStream: bad width");
+  if (branch_probability < 0.0 || branch_probability > 1.0) {
+    throw std::invalid_argument("SequentialStream: branch probability outside [0, 1]");
+  }
+  state_ = rng_() & width_mask(width_);
+}
+
+std::uint64_t SequentialStream::next() {
+  const std::uint64_t out = state_;
+  if (uni_(rng_) < branch_probability_) {
+    state_ = rng_() & width_mask(width_);
+  } else {
+    state_ = (state_ + 1) & width_mask(width_);
+  }
+  return out;
+}
+
+}  // namespace tsvcod::streams

@@ -1,0 +1,53 @@
+#include "streams/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsvcod::streams {
+
+std::vector<std::uint64_t> parse_trace(std::istream& is) {
+  std::vector<std::uint64_t> words;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    const std::string tok = line.substr(pos, line.find_last_not_of(" \t\r") - pos + 1);
+    try {
+      std::size_t used = 0;
+      const int base = tok.rfind("0x", 0) == 0 || tok.rfind("0X", 0) == 0 ? 16 : 10;
+      const std::uint64_t v = std::stoull(tok, &used, base);
+      if (used != tok.size()) throw std::invalid_argument("trailing characters");
+      words.push_back(v);
+    } catch (const std::exception&) {
+      throw std::runtime_error("trace_io: bad word at line " + std::to_string(lineno) + ": '" +
+                               tok + "'");
+    }
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("trace_io: cannot open: " + path);
+  return parse_trace(is);
+}
+
+void save_trace(std::ostream& os, std::span<const std::uint64_t> words) {
+  os << "# tsvcod word trace, one word per line\n" << std::hex;
+  for (const auto w : words) os << "0x" << w << '\n';
+}
+
+void save_trace(const std::string& path, std::span<const std::uint64_t> words) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace_io: cannot open for writing: " + path);
+  save_trace(os, words);
+}
+
+TraceStream load_trace_stream(const std::string& path, std::size_t width) {
+  return TraceStream(load_trace(path), width);
+}
+
+}  // namespace tsvcod::streams

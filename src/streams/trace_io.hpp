@@ -1,0 +1,27 @@
+#pragma once
+// Word-trace file I/O.
+//
+// Lets users feed *real* captured bus traces (the paper used camera images
+// and smartphone sensor logs) into the optimizer without recompiling:
+// one word per line, hexadecimal with 0x prefix or decimal, '#' comments
+// and blank lines ignored.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "streams/word_stream.hpp"
+
+namespace tsvcod::streams {
+
+/// Parse a trace; throws std::runtime_error on malformed lines.
+std::vector<std::uint64_t> parse_trace(std::istream& is);
+std::vector<std::uint64_t> load_trace(const std::string& path);
+
+void save_trace(std::ostream& os, std::span<const std::uint64_t> words);
+void save_trace(const std::string& path, std::span<const std::uint64_t> words);
+
+/// Convenience: load a trace file straight into a replaying stream.
+TraceStream load_trace_stream(const std::string& path, std::size_t width);
+
+}  // namespace tsvcod::streams

@@ -1,0 +1,82 @@
+#include "streams/word_stream.hpp"
+
+namespace tsvcod::streams {
+
+TraceStream::TraceStream(std::vector<std::uint64_t> words, std::size_t width)
+    : words_(std::move(words)), width_(width) {
+  if (words_.empty()) throw std::invalid_argument("TraceStream: empty trace");
+  if (width_ == 0 || width_ > 64) throw std::invalid_argument("TraceStream: bad width");
+  for (auto& w : words_) w &= width_mask(width_);
+}
+
+std::uint64_t TraceStream::next() {
+  const std::uint64_t w = words_[pos_];
+  pos_ = (pos_ + 1) % words_.size();
+  return w;
+}
+
+StableLinesStream::StableLinesStream(std::unique_ptr<WordStream> inner,
+                                     std::vector<StableLine> lines)
+    : inner_(std::move(inner)), lines_(std::move(lines)) {
+  if (!inner_) throw std::invalid_argument("StableLinesStream: null inner stream");
+  if (inner_->width() + lines_.size() > 64) {
+    throw std::invalid_argument("StableLinesStream: combined width exceeds 64");
+  }
+}
+
+std::size_t StableLinesStream::width() const { return inner_->width() + lines_.size(); }
+
+std::uint64_t StableLinesStream::next() {
+  std::uint64_t w = inner_->next() & width_mask(inner_->width());
+  for (std::size_t k = 0; k < lines_.size(); ++k) {
+    if (lines_[k].value) w |= std::uint64_t{1} << (inner_->width() + k);
+  }
+  return w;
+}
+
+FramedStream::FramedStream(std::unique_ptr<WordStream> inner, std::size_t active_length,
+                           std::size_t idle_length)
+    : inner_(std::move(inner)), active_length_(active_length), idle_length_(idle_length) {
+  if (!inner_) throw std::invalid_argument("FramedStream: null inner stream");
+  if (active_length_ == 0) throw std::invalid_argument("FramedStream: active_length must be > 0");
+  if (inner_->width() + 1 > 64) throw std::invalid_argument("FramedStream: width exceeds 64");
+}
+
+std::size_t FramedStream::width() const { return inner_->width() + 1; }
+
+std::uint64_t FramedStream::next() {
+  const std::size_t period = active_length_ + idle_length_;
+  const bool active = phase_ < active_length_;
+  phase_ = (phase_ + 1) % period;
+  if (!active) return 0;  // payload gated, enable low
+  const std::uint64_t enable = std::uint64_t{1} << inner_->width();
+  return (inner_->next() & width_mask(inner_->width())) | enable;
+}
+
+MuxStream::MuxStream(std::vector<std::unique_ptr<WordStream>> inputs)
+    : inputs_(std::move(inputs)) {
+  if (inputs_.empty()) throw std::invalid_argument("MuxStream: no inputs");
+  for (const auto& in : inputs_) {
+    if (!in) throw std::invalid_argument("MuxStream: null input");
+    if (in->width() != inputs_.front()->width()) {
+      throw std::invalid_argument("MuxStream: inputs must share one width");
+    }
+  }
+}
+
+std::size_t MuxStream::width() const { return inputs_.front()->width(); }
+
+std::uint64_t MuxStream::next() {
+  const std::uint64_t w = inputs_[turn_]->next();
+  turn_ = (turn_ + 1) % inputs_.size();
+  return w;
+}
+
+std::vector<std::uint64_t> collect(WordStream& stream, std::size_t count) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(stream.next());
+  return out;
+}
+
+}  // namespace tsvcod::streams

@@ -1,0 +1,91 @@
+#include "tsv/linear_model.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace tsvcod::tsv {
+
+LinearCapacitanceModel::LinearCapacitanceModel(phys::Matrix c_ref, phys::Matrix delta_c)
+    : c_ref_(std::move(c_ref)), delta_c_(std::move(delta_c)) {
+  if (c_ref_.rows() != c_ref_.cols() || delta_c_.rows() != delta_c_.cols() ||
+      c_ref_.rows() != delta_c_.rows()) {
+    throw std::invalid_argument("LinearCapacitanceModel: square same-size matrices required");
+  }
+}
+
+phys::Matrix LinearCapacitanceModel::evaluate(std::span<const double> probabilities) const {
+  std::vector<double> eps(probabilities.size());
+  for (std::size_t i = 0; i < probabilities.size(); ++i) eps[i] = probabilities[i] - 0.5;
+  return evaluate_eps(eps);
+}
+
+phys::Matrix LinearCapacitanceModel::evaluate_eps(std::span<const double> eps) const {
+  const std::size_t n = size();
+  if (eps.size() != n) throw std::invalid_argument("evaluate_eps: size mismatch");
+  phys::Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out(i, j) = c_ref_(i, j) + delta_c_(i, j) * (eps[i] + eps[j]);
+    }
+  }
+  return out;
+}
+
+LinearCapacitanceModel fit_linear_model(const CapacitanceBackend& backend, std::size_t n) {
+  const std::vector<double> p0(n, 0.0);
+  const std::vector<double> p1(n, 1.0);
+  const phys::Matrix c0 = backend(p0);
+  const phys::Matrix c1 = backend(p1);
+  if (c0.rows() != n || c1.rows() != n) {
+    throw std::invalid_argument("fit_linear_model: backend returned wrong size");
+  }
+  phys::Matrix c_ref(n, n);
+  phys::Matrix delta(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      c_ref(i, j) = 0.5 * (c1(i, j) + c0(i, j));
+      delta(i, j) = 0.5 * (c1(i, j) - c0(i, j));
+    }
+  }
+  return LinearCapacitanceModel(std::move(c_ref), std::move(delta));
+}
+
+LinearCapacitanceModel fit_from_analytic(const phys::TsvArrayGeometry& geom,
+                                         const AnalyticModelParams& params) {
+  return fit_linear_model(
+      [&](std::span<const double> pr) { return analytic_capacitance(geom, pr, params); },
+      geom.count());
+}
+
+LinearCapacitanceModel fit_from_field(const phys::TsvArrayGeometry& geom,
+                                      const field::ExtractionOptions& opts) {
+  return fit_linear_model(
+      [&](std::span<const double> pr) { return field::extract_capacitance(geom, pr, opts).paper; },
+      geom.count());
+}
+
+double linearity_nrmse(const CapacitanceBackend& backend, const LinearCapacitanceModel& model,
+                       std::size_t n, int samples, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  double err2 = 0.0;
+  double ref2 = 0.0;
+  std::vector<double> pr(n);
+  for (int s = 0; s < samples; ++s) {
+    for (auto& p : pr) p = uni(rng);
+    const phys::Matrix exact = backend(pr);
+    const phys::Matrix approx = model.evaluate(pr);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = exact(i, j) - approx(i, j);
+        err2 += d * d;
+        ref2 += exact(i, j) * exact(i, j);
+      }
+    }
+  }
+  return ref2 > 0.0 ? std::sqrt(err2 / ref2) : 0.0;
+}
+
+}  // namespace tsvcod::tsv

@@ -1,0 +1,89 @@
+#include "tsv/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsvcod::tsv {
+
+namespace {
+
+constexpr const char* kMagic = "tsvcod-linear-capacitance";
+
+/// Next non-empty, non-comment line.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+void write_matrix(std::ostream& os, const char* tag, const phys::Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << tag;
+    for (std::size_t c = 0; c < m.cols(); ++c) os << ' ' << m(r, c);
+    os << '\n';
+  }
+}
+
+phys::Matrix read_matrix(std::istream& is, const char* tag, std::size_t n) {
+  phys::Matrix m(n, n);
+  std::string line;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!next_line(is, line)) throw std::runtime_error("model_io: truncated matrix");
+    std::istringstream ls(line);
+    std::string got;
+    ls >> got;
+    if (got != tag) throw std::runtime_error("model_io: expected '" + std::string(tag) + "' row");
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!(ls >> m(r, c))) throw std::runtime_error("model_io: short matrix row");
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_linear_model(std::ostream& os, const LinearCapacitanceModel& model) {
+  os << kMagic << " v1\n";
+  os << "# C_R: capacitances at all bit probabilities 1/2 [F]\n";
+  os << "# DC : sensitivity to eps_i + eps_j [F]\n";
+  os << std::setprecision(17);
+  os << "n " << model.size() << '\n';
+  write_matrix(os, "CR", model.c_ref());
+  write_matrix(os, "DC", model.delta_c());
+}
+
+void save_linear_model(const std::string& path, const LinearCapacitanceModel& model) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("model_io: cannot open for writing: " + path);
+  save_linear_model(os, model);
+}
+
+LinearCapacitanceModel load_linear_model(std::istream& is) {
+  std::string line;
+  if (!next_line(is, line) || line.rfind(kMagic, 0) != 0) {
+    throw std::runtime_error("model_io: missing magic header");
+  }
+  if (!next_line(is, line)) throw std::runtime_error("model_io: missing size");
+  std::istringstream ls(line);
+  std::string tag;
+  std::size_t n = 0;
+  ls >> tag >> n;
+  if (tag != "n" || n == 0 || n > 64) throw std::runtime_error("model_io: bad size line");
+  phys::Matrix cr = read_matrix(is, "CR", n);
+  phys::Matrix dc = read_matrix(is, "DC", n);
+  return LinearCapacitanceModel(std::move(cr), std::move(dc));
+}
+
+LinearCapacitanceModel load_linear_model(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("model_io: cannot open: " + path);
+  return load_linear_model(is);
+}
+
+}  // namespace tsvcod::tsv

@@ -1,0 +1,29 @@
+#pragma once
+// Persistence for fitted capacitance models.
+//
+// Field extraction is the expensive step of the flow (seconds to minutes per
+// geometry); a fitted LinearCapacitanceModel is tiny. This module stores one
+// as a self-describing text file so extraction results can be shipped with a
+// design kit and reloaded by the optimizer/CLI without rerunning the solver.
+//
+// Format (line oriented, '#' comments allowed):
+//   tsvcod-linear-capacitance v1
+//   n <size>
+//   CR  <n*n doubles, row major, one row per line>
+//   DC  <n*n doubles, row major, one row per line>
+
+#include <iosfwd>
+#include <string>
+
+#include "tsv/linear_model.hpp"
+
+namespace tsvcod::tsv {
+
+void save_linear_model(std::ostream& os, const LinearCapacitanceModel& model);
+void save_linear_model(const std::string& path, const LinearCapacitanceModel& model);
+
+/// Throws std::runtime_error on malformed input.
+LinearCapacitanceModel load_linear_model(std::istream& is);
+LinearCapacitanceModel load_linear_model(const std::string& path);
+
+}  // namespace tsvcod::tsv

@@ -1,0 +1,136 @@
+#include "tsv/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace tsvcod::tsv {
+
+std::vector<phys::Point2> entry_points(const phys::TsvArrayGeometry& geom) {
+  geom.validate();
+  const std::size_t n = geom.count();
+  const double width = static_cast<double>(geom.cols - 1) * geom.pitch;
+  std::vector<phys::Point2> pts(n);
+  const double y = -geom.pitch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = n > 1 ? width * static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+    pts[i] = {x, y};
+  }
+  return pts;
+}
+
+namespace {
+
+double wirelength_of(const phys::TsvArrayGeometry& geom, const std::vector<phys::Point2>& entry,
+                     std::span<const std::size_t> tsv_of_bit) {
+  double total = 0.0;
+  for (std::size_t bit = 0; bit < tsv_of_bit.size(); ++bit) {
+    const auto p = geom.position(tsv_of_bit[bit]);
+    total += std::abs(p.x - entry[bit].x) + std::abs(p.y - entry[bit].y);
+  }
+  return total;
+}
+
+}  // namespace
+
+double assignment_wirelength(const phys::TsvArrayGeometry& geom,
+                             std::span<const std::size_t> tsv_of_bit,
+                             const RoutingParams& params) {
+  (void)params;
+  if (tsv_of_bit.size() != geom.count()) {
+    throw std::invalid_argument("assignment_wirelength: assignment size mismatch");
+  }
+  return wirelength_of(geom, entry_points(geom), tsv_of_bit);
+}
+
+double assignment_path_parasitics(const phys::TsvArrayGeometry& geom,
+                                  std::span<const std::size_t> tsv_of_bit,
+                                  std::span<const double> tsv_total_cap,
+                                  const RoutingParams& params) {
+  if (tsv_of_bit.size() != geom.count() || tsv_total_cap.size() != geom.count()) {
+    throw std::invalid_argument("assignment_path_parasitics: size mismatch");
+  }
+  const auto entry = entry_points(geom);
+  double total = 0.0;
+  for (std::size_t bit = 0; bit < tsv_of_bit.size(); ++bit) {
+    const auto p = geom.position(tsv_of_bit[bit]);
+    const double len = std::abs(p.x - entry[bit].x) + std::abs(p.y - entry[bit].y);
+    total += params.fixed_path_cap + tsv_total_cap[tsv_of_bit[bit]] + len * params.wire_cap_per_m;
+  }
+  return total / static_cast<double>(tsv_of_bit.size());
+}
+
+OverheadStats routing_overhead_stats(const phys::TsvArrayGeometry& geom,
+                                     std::span<const double> tsv_total_cap,
+                                     const RoutingParams& params, std::size_t sample_count,
+                                     unsigned seed) {
+  const std::size_t n = geom.count();
+  if (tsv_total_cap.size() != n) {
+    throw std::invalid_argument("routing_overhead_stats: capacitance vector size mismatch");
+  }
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+
+  OverheadStats stats;
+  stats.exhaustive = n <= 9;
+
+  // First pass: the minimum-parasitic assignment (the "wire length
+  // minimization" routing the paper compares against).
+  double best = 1e300;
+  auto eval = [&](const std::vector<std::size_t>& p) {
+    return assignment_path_parasitics(geom, p, tsv_total_cap, params);
+  };
+  std::mt19937 rng(seed);
+  if (stats.exhaustive) {
+    auto p = perm;
+    std::sort(p.begin(), p.end());
+    do {
+      best = std::min(best, eval(p));
+    } while (std::next_permutation(p.begin(), p.end()));
+  } else {
+    // Sorted-by-entry heuristic is optimal for the 1-D part; refine by
+    // sampled shuffles.
+    best = eval(perm);
+    auto p = perm;
+    for (std::size_t s = 0; s < sample_count; ++s) {
+      std::shuffle(p.begin(), p.end(), rng);
+      best = std::min(best, eval(p));
+    }
+  }
+
+  // Second pass: statistics of the increase over all (or sampled) assignments.
+  double sum = 0.0;
+  double sum2 = 0.0;
+  double worst = 0.0;
+  std::size_t count = 0;
+  auto accumulate = [&](const std::vector<std::size_t>& p) {
+    const double inc = (eval(p) / best - 1.0) * 100.0;
+    sum += inc;
+    sum2 += inc * inc;
+    worst = std::max(worst, inc);
+    ++count;
+  };
+  if (stats.exhaustive) {
+    auto p = perm;
+    std::sort(p.begin(), p.end());
+    do {
+      accumulate(p);
+    } while (std::next_permutation(p.begin(), p.end()));
+  } else {
+    auto p = perm;
+    for (std::size_t s = 0; s < sample_count; ++s) {
+      std::shuffle(p.begin(), p.end(), rng);
+      accumulate(p);
+    }
+  }
+  stats.assignments = count;
+  stats.worst_pct = worst;
+  stats.mean_pct = sum / static_cast<double>(count);
+  stats.stddev_pct =
+      std::sqrt(std::max(0.0, sum2 / static_cast<double>(count) - stats.mean_pct * stats.mean_pct));
+  return stats;
+}
+
+}  // namespace tsvcod::tsv

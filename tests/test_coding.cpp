@@ -1,0 +1,294 @@
+// Unit tests for the low-power codecs: Gray (with XNOR inversions),
+// correlator/decorrelator, classic bus-invert and coupling-driven invert.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+#include <random>
+
+#include "coding/bus_invert.hpp"
+#include "coding/codec.hpp"
+#include "coding/correlator.hpp"
+#include "coding/gray.hpp"
+#include "coding/fibonacci.hpp"
+#include "coding/t0.hpp"
+#include "streams/random_streams.hpp"
+
+namespace {
+
+using namespace tsvcod;
+using namespace tsvcod::coding;
+
+TEST(Gray, RoundTripAllTenBitValues) {
+  GrayCodec codec(10);
+  for (std::uint64_t v = 0; v < 1024; ++v) {
+    EXPECT_EQ(codec.decode(codec.encode(v)), v);
+  }
+}
+
+TEST(Gray, AdjacentValuesDifferInOneBit) {
+  GrayCodec codec(12);
+  for (std::uint64_t v = 0; v + 1 < 4096; ++v) {
+    const auto a = codec.encode(v);
+    const auto b = codec.encode(v + 1);
+    EXPECT_EQ(std::popcount(a ^ b), 1) << "v=" << v;
+  }
+}
+
+TEST(Gray, InversionMaskIsXnorRealization) {
+  // Swapping XOR for XNOR on masked lines = XORing the plain code with the
+  // mask. Switching activity must be untouched, 1-probabilities flipped.
+  const std::uint64_t mask = 0b1010;
+  GrayCodec plain(4);
+  GrayCodec inverted(4, mask);
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(inverted.encode(v), plain.encode(v) ^ mask);
+    EXPECT_EQ(inverted.decode(inverted.encode(v)), v);
+  }
+}
+
+TEST(Gray, StabilizesCorrelatedMsbs) {
+  // Normally distributed data: Gray coding turns the sign-extension region
+  // into nearly stable 0s (paper Sec. 6).
+  streams::GaussianAr1Stream src(16, 300.0, 0.0, 3);
+  GrayCodec codec(16);
+  int msb_ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    msb_ones += (codec.encode(src.next()) >> 14) & 1u;
+  }
+  EXPECT_LT(static_cast<double>(msb_ones) / n, 0.05);
+}
+
+TEST(Correlator, RoundTripVariousPeriods) {
+  for (const std::size_t period : {std::size_t{1}, std::size_t{3}, std::size_t{4}}) {
+    CorrelatorCodec enc(8, period, 0b1100);
+    CorrelatorCodec dec(8, period, 0b1100);
+    std::mt19937_64 rng(period);
+    for (int i = 0; i < 1000; ++i) {
+      const std::uint64_t v = rng() & 0xFF;
+      EXPECT_EQ(dec.decode(enc.encode(v)), v);
+    }
+  }
+}
+
+TEST(Correlator, CorrelatedChannelBecomesSparse) {
+  // Slowly varying channel values -> decorrelated output nearly all zero.
+  CorrelatorCodec enc(8, 1);
+  std::uint64_t ones = 0;
+  for (int i = 0; i < 1000; ++i) {
+    // A channel that changes value only every 50 cycles.
+    ones += std::popcount(enc.encode(static_cast<std::uint64_t>(128 + (i / 50) % 3)));
+  }
+  EXPECT_LT(ones, 100u);
+}
+
+TEST(Correlator, InversionMaskRaisesOnes) {
+  CorrelatorCodec plain(8, 1);
+  CorrelatorCodec inv(8, 1, 0xFF);
+  std::uint64_t plain_ones = 0;
+  std::uint64_t inv_ones = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::uint64_t>(100 + (i % 2));
+    plain_ones += std::popcount(plain.encode(v));
+    inv_ones += std::popcount(inv.encode(v));
+  }
+  EXPECT_GT(inv_ones, plain_ones);
+}
+
+TEST(Correlator, ResetClearsHistory) {
+  CorrelatorCodec enc(8, 2);
+  (void)enc.encode(0xAB);
+  (void)enc.encode(0xCD);
+  enc.reset();
+  // After reset the first encode XORs against zero history again.
+  EXPECT_EQ(enc.encode(0x55), 0x55u);
+}
+
+TEST(BusInvert, RoundTripAndToggleBound) {
+  BusInvertCodec enc(8);
+  BusInvertCodec dec(8);
+  std::mt19937_64 rng(1);
+  std::uint64_t prev_data = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng() & 0xFF;
+    const std::uint64_t code = enc.encode(v);
+    EXPECT_EQ(dec.decode(code), v);
+    // Classic bus-invert guarantee: at most width/2 data lines toggle.
+    const std::uint64_t data = code & 0xFF;
+    EXPECT_LE(std::popcount(data ^ prev_data), 4);
+    prev_data = data;
+  }
+}
+
+TEST(BusInvert, WidthOutAddsFlag) {
+  BusInvertCodec codec(7);
+  EXPECT_EQ(codec.width_in(), 7u);
+  EXPECT_EQ(codec.width_out(), 8u);
+}
+
+TEST(CouplingInvert, RoundTrip) {
+  CouplingInvertCodec enc(7);
+  CouplingInvertCodec dec(7);
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng() & 0x7F;
+    EXPECT_EQ(dec.decode(enc.encode(v)), v);
+  }
+}
+
+TEST(CouplingInvert, ChoosesCheaperTransition) {
+  CouplingInvertCodec probe(7);
+  CouplingInvertCodec enc(7);
+  std::mt19937_64 rng(3);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng() & 0x7F;
+    const std::uint64_t plain = v;
+    const std::uint64_t flipped = (~v & 0x7F) | 0x80;
+    const double c_plain = probe.transition_cost(prev, plain);
+    const double c_flip = probe.transition_cost(prev, flipped);
+    const std::uint64_t chosen = enc.encode(v);
+    const double c_chosen = probe.transition_cost(prev, chosen);
+    EXPECT_LE(c_chosen, std::min(c_plain, c_flip) + 1e-12);
+    prev = chosen;
+  }
+}
+
+TEST(CouplingInvert, CostProperties) {
+  CouplingInvertCodec codec(7, 2.0);
+  EXPECT_DOUBLE_EQ(codec.transition_cost(0x12, 0x12), 0.0);
+  // One line toggling: self cost 1 plus coupling cost to both neighbours.
+  EXPECT_GT(codec.transition_cost(0b000, 0b010), 0.0);
+  // Opposite toggles on adjacent lines cost more than aligned toggles.
+  const double opposite = codec.transition_cost(0b01, 0b10);
+  const double aligned = codec.transition_cost(0b00, 0b11);
+  EXPECT_GT(opposite, aligned);
+}
+
+TEST(CouplingInvert, ReducesPlanarCostVersusUncoded) {
+  std::mt19937_64 rng(4);
+  CouplingInvertCodec probe(7);
+  CouplingInvertCodec enc(7);
+  double coded = 0.0;
+  double uncoded = 0.0;
+  std::uint64_t prev_coded = 0;
+  std::uint64_t prev_plain = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng() & 0x7F;
+    const std::uint64_t c = enc.encode(v);
+    coded += probe.transition_cost(prev_coded, c);
+    uncoded += probe.transition_cost(prev_plain, v);
+    prev_coded = c;
+    prev_plain = v;
+  }
+  EXPECT_LT(coded, uncoded);
+}
+
+TEST(EncodedStream, ComposesCodecAndStream) {
+  auto inner = std::make_unique<streams::TraceStream>(std::vector<std::uint64_t>{1, 2, 3}, 4);
+  EncodedStream s(std::move(inner), std::make_unique<GrayCodec>(4));
+  EXPECT_EQ(s.width(), 4u);
+  EXPECT_EQ(s.next(), GrayCodec::binary_to_gray(1));
+  EXPECT_EQ(s.next(), GrayCodec::binary_to_gray(2));
+}
+
+TEST(EncodedStream, RejectsWidthMismatch) {
+  auto inner = std::make_unique<streams::TraceStream>(std::vector<std::uint64_t>{1}, 4);
+  EXPECT_THROW(EncodedStream(std::move(inner), std::make_unique<GrayCodec>(5)),
+               std::invalid_argument);
+}
+
+
+TEST(T0, RoundTripMixedTraffic) {
+  coding::T0Codec enc(8);
+  coding::T0Codec dec(8);
+  std::mt19937_64 rng(9);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Mostly sequential with occasional jumps, like a program counter.
+    if (rng() % 10 == 0) addr = rng() & 0xFF;
+    else addr = (addr + 1) & 0xFF;
+    EXPECT_EQ(dec.decode(enc.encode(addr)), addr);
+  }
+}
+
+TEST(T0, FreezesBusOnSequentialRuns) {
+  coding::T0Codec enc(8);
+  const std::uint64_t first = enc.encode(0x10);
+  EXPECT_EQ(first, 0x10u);  // absolute, INC clear
+  for (std::uint64_t a = 0x11; a < 0x20; ++a) {
+    const std::uint64_t code = enc.encode(a);
+    EXPECT_EQ(code & 0xFF, 0x10u) << "data lines must stay frozen";
+    EXPECT_TRUE(code & 0x100) << "INC line must be set";
+  }
+}
+
+TEST(T0, WrapsAroundAtWidth) {
+  coding::T0Codec enc(4);
+  coding::T0Codec dec(4);
+  (void)dec.decode(enc.encode(0xF));
+  const std::uint64_t code = enc.encode(0x0);  // 0xF + 1 wraps in 4 bits
+  EXPECT_TRUE(code & 0x10) << "wraparound is still in-sequence";
+  EXPECT_EQ(dec.decode(code), 0x0u);
+}
+
+TEST(T0, DecoderRejectsIncBeforePrime) {
+  coding::T0Codec dec(8);
+  EXPECT_THROW(dec.decode(0x100), std::logic_error);
+}
+
+TEST(T0, CustomStride) {
+  coding::T0Codec enc(8, 4);
+  coding::T0Codec dec(8, 4);
+  (void)dec.decode(enc.encode(0x00));
+  const std::uint64_t code = enc.encode(0x04);
+  EXPECT_TRUE(code & 0x100);
+  EXPECT_EQ(dec.decode(code), 0x04u);
+  // Stride mismatch falls back to an absolute transfer.
+  const std::uint64_t abs = enc.encode(0x07);
+  EXPECT_FALSE(abs & 0x100);
+  EXPECT_EQ(dec.decode(abs), 0x07u);
+}
+
+TEST(T0, ResetClearsSequenceState) {
+  coding::T0Codec enc(8);
+  (void)enc.encode(0x20);
+  enc.reset();
+  const std::uint64_t code = enc.encode(0x21);  // would be in-sequence without reset
+  EXPECT_FALSE(code & 0x100);
+}
+
+
+TEST(Fibonacci, RoundTripAllTwelveBitValues) {
+  coding::FibonacciCodec codec(12);
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    EXPECT_EQ(codec.decode(codec.encode(v)), v);
+  }
+}
+
+TEST(Fibonacci, CodewordsAreForbiddenPatternFree) {
+  coding::FibonacciCodec codec(12);
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    EXPECT_TRUE(coding::FibonacciCodec::is_forbidden_pattern_free(codec.encode(v)))
+        << "value " << v;
+  }
+}
+
+TEST(Fibonacci, WidthExpansionIsAboutFortyFourPercent) {
+  // 8 bits need 12 Fibonacci lines (F(15) - 1 = 376 >= 255).
+  coding::FibonacciCodec c8(8);
+  EXPECT_EQ(c8.width_out(), 12u);
+  coding::FibonacciCodec c16(16);
+  EXPECT_GE(c16.width_out(), 22u);
+  EXPECT_LE(c16.width_out(), 25u);
+  EXPECT_THROW(coding::FibonacciCodec(0), std::invalid_argument);
+}
+
+TEST(Fibonacci, PatternFreeCheckerItself) {
+  EXPECT_TRUE(coding::FibonacciCodec::is_forbidden_pattern_free(0b101010));
+  EXPECT_FALSE(coding::FibonacciCodec::is_forbidden_pattern_free(0b1100));
+  EXPECT_TRUE(coding::FibonacciCodec::is_forbidden_pattern_free(0));
+}
+
+}  // namespace

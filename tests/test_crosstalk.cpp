@@ -1,0 +1,62 @@
+// Tests for the crosstalk/Miller-delay analysis on the 3-pi link model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "circuit/crosstalk.hpp"
+#include "tsv/analytic_model.hpp"
+
+namespace {
+
+using namespace tsvcod;
+
+circuit::CrosstalkResult analyze(const phys::TsvArrayGeometry& geom, double pr_all,
+                                 std::size_t victim) {
+  const std::vector<double> pr(geom.count(), pr_all);
+  const auto cap = tsv::analytic_capacitance(geom, pr);
+  return circuit::analyze_crosstalk(geom, cap, victim);
+}
+
+TEST(Crosstalk, VictimBounceIsRealAndBounded) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(3, 3);
+  const auto res = analyze(geom, 0.5, geom.index(1, 1));
+  EXPECT_GT(res.victim_peak_noise, 0.05);  // clearly visible bounce
+  EXPECT_LT(res.victim_peak_noise, 1.0);   // but no runaway
+}
+
+TEST(Crosstalk, MoreAggressorsMoreNoise) {
+  auto pair = phys::TsvArrayGeometry::itrs2018_min(1, 2);
+  auto array = phys::TsvArrayGeometry::itrs2018_min(3, 3);
+  const auto one_aggressor = analyze(pair, 0.5, 0);
+  const auto eight_aggressors = analyze(array, 0.5, array.index(1, 1));
+  EXPECT_GT(eight_aggressors.victim_peak_noise, one_aggressor.victim_peak_noise);
+}
+
+TEST(Crosstalk, MillerEffectSlowsOpposedSwitching) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(3, 3);
+  const auto res = analyze(geom, 0.5, geom.index(1, 1));
+  ASSERT_FALSE(std::isnan(res.victim_delay_quiet));
+  ASSERT_FALSE(std::isnan(res.victim_delay_opposed));
+  EXPECT_GT(res.miller_slowdown(), 1.2);  // opposed switching clearly slower
+  EXPECT_LT(res.miller_slowdown(), 10.0);
+}
+
+TEST(Crosstalk, MosEffectWeakensCoupling) {
+  // High 1-probability -> wide depletion -> smaller couplings -> less noise.
+  // This is the signal-integrity side benefit of the inversion trick.
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(3, 3);
+  const auto low = analyze(geom, 0.0, geom.index(1, 1));
+  const auto high = analyze(geom, 1.0, geom.index(1, 1));
+  EXPECT_LT(high.victim_peak_noise, low.victim_peak_noise);
+}
+
+TEST(Crosstalk, ValidatesVictimIndex) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const std::vector<double> pr(4, 0.5);
+  const auto cap = tsv::analytic_capacitance(geom, pr);
+  EXPECT_THROW(circuit::analyze_crosstalk(geom, cap, 99), std::invalid_argument);
+}
+
+}  // namespace

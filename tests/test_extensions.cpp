@@ -1,0 +1,182 @@
+// Tests for the extension features: windowed statistics, threaded field
+// extraction, and the derived mapping constructions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/link.hpp"
+#include "field/extractor.hpp"
+#include "stats/windowed.hpp"
+#include "streams/random_streams.hpp"
+
+namespace {
+
+using namespace tsvcod;
+
+TEST(Windowed, MatchesBatchOnStationaryStream) {
+  streams::GaussianAr1Stream src(8, 20.0, 0.4, 3);
+  stats::WindowedAccumulator win(8, 5000.0);
+  stats::StatsAccumulator batch(8);
+  for (int i = 0; i < 40000; ++i) {
+    const auto w = src.next();
+    win.add(w);
+    batch.add(w);
+  }
+  const auto a = win.snapshot();
+  const auto b = batch.finish();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(a.self[i], b.self[i], 0.05);
+    EXPECT_NEAR(a.prob_one[i], b.prob_one[i], 0.05);
+    for (std::size_t j = 0; j < 8; ++j) EXPECT_NEAR(a.coupling(i, j), b.coupling(i, j), 0.08);
+  }
+}
+
+TEST(Windowed, TracksRegimeChange) {
+  // Constant words, then full-toggle words: a short window must forget the
+  // quiet past within a few half-lives.
+  stats::WindowedAccumulator win(4, 100.0);
+  for (int i = 0; i < 2000; ++i) win.add(0b0000);
+  EXPECT_NEAR(win.snapshot().self[0], 0.0, 1e-9);
+  for (int i = 0; i < 1000; ++i) win.add(i % 2 ? 0b1111 : 0b0000);
+  EXPECT_GT(win.snapshot().self[0], 0.95);
+  EXPECT_GT(win.snapshot().prob_one[0], 0.4);
+}
+
+TEST(Windowed, LongWindowForgetsSlowly) {
+  stats::WindowedAccumulator slow(4, 100000.0);
+  for (int i = 0; i < 5000; ++i) slow.add(0b0000);
+  for (int i = 0; i < 100; ++i) slow.add(i % 2 ? 0b1111 : 0b0000);
+  // Only ~2 % of the window is the new regime.
+  EXPECT_LT(slow.snapshot().self[0], 0.1);
+}
+
+TEST(Windowed, Guards) {
+  EXPECT_THROW(stats::WindowedAccumulator(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(stats::WindowedAccumulator(4, 0.0), std::invalid_argument);
+  stats::WindowedAccumulator w(4, 10.0);
+  w.add(1);
+  EXPECT_THROW(w.snapshot(), std::logic_error);
+}
+
+TEST(ThreadedExtraction, MatchesSerialExactly) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const std::vector<double> pr(4, 0.5);
+  field::ExtractionOptions serial;
+  serial.cell = 0.2e-6;
+  field::ExtractionOptions threaded = serial;
+  threaded.threads = 4;
+  const auto a = field::extract_capacitance(geom, pr, serial);
+  const auto b = field::extract_capacitance(geom, pr, threaded);
+  ASSERT_TRUE(a.all_converged());
+  ASSERT_TRUE(b.all_converged());
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(a.paper(i, j), b.paper(i, j));
+    }
+  }
+}
+
+TEST(Mappings, CapacitanceOrderSortsByTotals) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(3, 3);
+  const auto c = tsv::analytic_capacitance(geom, std::vector<double>(9, 0.5));
+  const auto order = core::capacitance_order(c);
+  ASSERT_EQ(order.size(), 9u);
+  const auto total = [&](std::size_t i) {
+    double t = 0.0;
+    for (std::size_t j = 0; j < 9; ++j) t += c(i, j);
+    return t;
+  };
+  for (std::size_t k = 0; k + 1 < 9; ++k) EXPECT_LE(total(order[k]), total(order[k + 1]));
+  // Corners (lowest totals) first, middle last.
+  EXPECT_TRUE(geom.is_corner(order[0]));
+  EXPECT_TRUE(geom.is_middle(order[8]));
+}
+
+TEST(Mappings, GreedyCouplingCompetitiveWithSawtooth) {
+  // The paper derives Sawtooth as the closed form of the greedy
+  // max-accumulated-coupling recursion; on Gaussian statistics both must
+  // land within a few percent of each other.
+  auto geom = phys::TsvArrayGeometry::itrs2018_relaxed(4, 4);
+  const core::Link link(geom);
+  streams::GaussianAr1Stream src(16, 600.0, 0.0, 9);
+  const auto st = link.measure(src, 50000);
+
+  const auto sawtooth = core::sawtooth_assignment(geom, st);
+  const auto greedy_order = core::greedy_coupling_order(link.model().c_ref());
+  const auto greedy =
+      core::assignment_from_orders(core::rank_by_correlation(st), greedy_order);
+  const double ps = link.power(st, sawtooth);
+  const double pg = link.power(st, greedy);
+  EXPECT_NEAR(pg / ps, 1.0, 0.05);
+}
+
+TEST(AdaptiveLink, WindowedReassignmentFollowsTheSignal) {
+  // Scenario: the link carries addresses, then switches to Gaussian data.
+  // Reoptimizing from the windowed snapshot must beat keeping the stale
+  // assignment.
+  auto geom = phys::TsvArrayGeometry::itrs2018_relaxed(4, 4);
+  const core::Link link(geom);
+  stats::WindowedAccumulator win(16, 2000.0);
+
+  streams::SequentialStream phase1(16, 0.02, 4);
+  for (int i = 0; i < 20000; ++i) win.add(phase1.next());
+  core::OptimizeOptions opts;
+  opts.schedule.iterations = 6000;
+  const auto a1 = core::optimize_assignment(win.snapshot(), link.model(), opts);
+
+  streams::GaussianAr1Stream phase2(16, 500.0, 0.0, 4);
+  for (int i = 0; i < 20000; ++i) win.add(phase2.next());
+  const auto snap2 = win.snapshot();
+  const auto a2 = core::optimize_assignment(snap2, link.model(), opts);
+
+  EXPECT_LT(a2.power, link.power(snap2, a1.assignment));
+}
+
+
+TEST(GreedyDescent, FindsExhaustiveOptimumOnSmallArrays) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const core::Link link(geom);
+  streams::GaussianAr1Stream src(4, 3.0, -0.4, 21);
+  stats::StatsAccumulator acc(4);
+  for (int i = 0; i < 30000; ++i) acc.add(src.next());
+  const auto st = acc.finish();
+
+  const auto greedy = core::greedy_descent(st, link.model());
+  const auto exact = core::exhaustive_optimal(st, link.model());
+  // A 2x2 landscape is small enough that first-improvement descent lands on
+  // (or within a hair of) the global optimum.
+  EXPECT_NEAR(greedy.power, exact.power, 0.01 * std::abs(exact.power));
+}
+
+TEST(GreedyDescent, DeterministicAndCompetitiveWithAnnealing) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_relaxed(4, 4);
+  const core::Link link(geom);
+  streams::SequentialStream src(16, 0.05, 8);
+  const auto st = link.measure(src, 30000);
+
+  const auto a = core::greedy_descent(st, link.model());
+  const auto b = core::greedy_descent(st, link.model());
+  EXPECT_EQ(a.assignment, b.assignment);  // no randomness at all
+
+  core::OptimizeOptions opts;
+  opts.schedule.iterations = 15000;
+  const auto sa = core::optimize_assignment(st, link.model(), opts);
+  EXPECT_LT(a.power, link.power(st, core::SignedPermutation::identity(16)));
+  EXPECT_NEAR(a.power / sa.power, 1.0, 0.05);  // within a few percent of SA
+}
+
+TEST(GreedyDescent, HonoursInversionConstraints) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const core::Link link(geom);
+  streams::UniformRandomStream inner(3, 4);
+  std::vector<std::uint64_t> words;
+  for (int i = 0; i < 5000; ++i) words.push_back(inner.next());  // bit 3 stable 0
+  const auto st = stats::compute_stats(words, 4);
+
+  core::OptimizeOptions opts;
+  opts.allow_invert = {1, 1, 1, 0};
+  const auto res = core::greedy_descent(st, link.model(), opts);
+  EXPECT_FALSE(res.assignment.inverted(3));
+}
+
+}  // namespace

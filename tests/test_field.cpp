@@ -1,0 +1,194 @@
+// Unit tests for the finite-difference field extractor: grid rasterization,
+// solver convergence, closed-form validation and Maxwell-matrix structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "field/export.hpp"
+#include "field/extractor.hpp"
+#include "field/grid.hpp"
+#include "field/solver.hpp"
+#include "phys/constants.hpp"
+
+namespace {
+
+using namespace tsvcod;
+using namespace tsvcod::phys::literals;
+using field::Complex;
+using field::Grid;
+
+TEST(Grid, ConstructionAndIndexing) {
+  Grid g(10_um, 5_um, 0.5_um);
+  EXPECT_EQ(g.nx(), 20u);
+  EXPECT_EQ(g.ny(), 10u);
+  EXPECT_EQ(g.size(), 200u);
+  EXPECT_DOUBLE_EQ(g.x_of(0), 0.25_um);
+  EXPECT_THROW(Grid(1_um, 1_um, 0.5_um), std::invalid_argument);  // too few cells
+  EXPECT_THROW(Grid(-1.0, 1.0, 0.1), std::invalid_argument);
+}
+
+TEST(Grid, PaintDiskAndAnnulus) {
+  Grid g(10_um, 10_um, 0.1_um);
+  g.fill(Complex{11.9, -50.0});
+  g.paint_annulus(5_um, 5_um, 1_um, 1.2_um, Complex{3.9, 0.0});
+  g.paint_disk(5_um, 5_um, 1_um, Complex{3.9, 0.0});
+  g.paint_disk(5_um, 5_um, 1_um, Complex{3.9, 0.0}, 0);
+  EXPECT_EQ(g.conductor_count(), 1);
+
+  // Center cell is conductor 0; a cell inside the annulus is oxide; a far
+  // cell is substrate.
+  const auto center = g.index(50, 50);
+  EXPECT_EQ(g.conductor(center), 0);
+  const auto ring = g.index(50 + 11, 50);  // ~1.1 um to the east
+  EXPECT_EQ(g.conductor(ring), field::kNoConductor);
+  EXPECT_NEAR(g.eps(ring).real(), 3.9, 1e-12);
+  const auto far = g.index(5, 5);
+  EXPECT_NEAR(g.eps(far).imag(), -50.0, 1e-12);
+}
+
+// A centred conductor disk inside a grounded box behaves like a coaxial
+// capacitor with an effective outer radius; the FD charge must be within a
+// few percent of the closed form with the standard square-to-circle radius.
+TEST(Solver, CoaxialClosedForm) {
+  const double half = 8_um;
+  Grid g(2 * half, 2 * half, 0.1_um);
+  g.fill(Complex{1.0, 0.0});
+  g.paint_disk(half, half, 1_um, Complex{1.0, 0.0}, 0);
+
+  field::FieldProblem problem(g);
+  field::SolverOptions opts;
+  field::SolveStats stats;
+  const auto phi = problem.solve(0, opts, &stats);
+  EXPECT_TRUE(stats.converged);
+  const auto q = problem.conductor_charges(phi);
+
+  // Effective grounded-boundary radius of a square box ~ 1.08 * half-width
+  // (standard conformal-mapping result for square coax).
+  const double r_eff = 1.08 * half;
+  const double expected = 2.0 * phys::pi * phys::eps0 / std::log(r_eff / 1_um);
+  EXPECT_NEAR(q[0].real() / expected, 1.0, 0.08);
+  EXPECT_NEAR(q[0].imag(), 0.0, 1e-12 * std::abs(q[0].real()));
+}
+
+// Two cylinders in a uniform lossless dielectric: coupling must approach the
+// two-wire closed form C' = pi*eps/acosh(s/2a) when the box is large.
+TEST(Solver, TwoCylinderClosedForm) {
+  const double a = 1_um;
+  const double s = 4_um;
+  const double half = 14_um;
+  Grid g(2 * half + s, 2 * half, 0.1_um);
+  g.fill(Complex{1.0, 0.0});
+  g.paint_disk(half, half, a, Complex{1.0, 0.0}, 0);
+  g.paint_disk(half + s, half, a, Complex{1.0, 0.0}, 1);
+
+  field::FieldProblem problem(g);
+  field::SolverOptions opts;
+  field::SolveStats stats;
+  const auto phi = problem.solve(0, opts, &stats);
+  ASSERT_TRUE(stats.converged);
+  const auto q = problem.conductor_charges(phi);
+
+  const double coupling = -q[1].real();  // off-diagonal Maxwell entry, negated
+  const double expected = phys::pi * phys::eps0 / std::acosh(s / (2.0 * a));
+  // The grounded box steals a substantial share of the field (the closed form
+  // assumes an unbounded medium), so the FD coupling lands below the formula
+  // but must stay in the same regime.
+  EXPECT_GT(coupling / expected, 0.55);
+  EXPECT_LT(coupling / expected, 1.05);
+}
+
+TEST(Extractor, MaxwellStructureSmallArray) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const std::vector<double> pr(geom.count(), 0.5);
+  field::ExtractionOptions opts;
+  opts.cell = 0.2_um;  // coarse but fast
+  const auto res = field::extract_capacitance(geom, pr, opts);
+  ASSERT_TRUE(res.all_converged());
+
+  const auto& m = res.maxwell;
+  const auto& c = res.paper;
+  const std::size_t n = geom.count();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(m(i, i), 0.0);
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row += m(i, j);
+      EXPECT_NEAR(m(i, j), m(j, i), 1e-18);
+      if (i != j) {
+        EXPECT_LT(m(i, j), 0.0) << "Maxwell off-diagonals are negative";
+        EXPECT_GT(c(i, j), 0.0) << "paper-form couplings are positive";
+      }
+    }
+    EXPECT_GE(row, -1e-18) << "ground capacitance cannot be negative";
+    EXPECT_NEAR(c(i, i), row, 1e-18);
+  }
+  // 2x2 symmetry: all four TSVs are corners, couplings along the two axes equal.
+  EXPECT_NEAR(c(0, 1) / c(0, 2), 1.0, 0.05);
+  // Diagonal pair couples less than a direct pair.
+  EXPECT_LT(c(0, 3), c(0, 1));
+}
+
+TEST(Extractor, MosEffectReducesCapacitance) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(1, 2);
+  field::ExtractionOptions opts;
+  opts.cell = 0.15_um;
+  const std::vector<double> pr0(2, 0.0);
+  const std::vector<double> pr1(2, 1.0);
+  const auto c0 = field::extract_capacitance(geom, pr0, opts);
+  const auto c1 = field::extract_capacitance(geom, pr1, opts);
+  ASSERT_TRUE(c0.all_converged());
+  ASSERT_TRUE(c1.all_converged());
+  EXPECT_LT(c1.paper(0, 1), c0.paper(0, 1));
+  const double reduction = 1.0 - c1.paper(0, 1) / c0.paper(0, 1);
+  // Paper: the MOS effect gives up to ~40 % lower capacitance values.
+  EXPECT_GT(reduction, 0.10);
+  EXPECT_LT(reduction, 0.60);
+}
+
+TEST(Extractor, RejectsBadProbabilityVector) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const std::vector<double> pr(3, 0.5);
+  EXPECT_THROW(field::extract_capacitance(geom, pr, {}), std::invalid_argument);
+}
+
+
+TEST(Export, PgmFormatAndScaling) {
+  std::ostringstream os;
+  field::write_pgm(os, 2, 2, {0.0, 1.0, 0.5, 1.0});
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("P2\n2 2\n255\n", 0), 0u);
+  EXPECT_NE(out.find("0 255"), std::string::npos);
+  EXPECT_NE(out.find("128 255"), std::string::npos);
+  EXPECT_THROW(field::write_pgm(os, 3, 2, {1.0}), std::invalid_argument);
+}
+
+TEST(Export, PermittivityMapHighlightsConductors) {
+  Grid g(5_um, 5_um, 0.25_um);
+  g.fill(Complex{11.9, -59.9});
+  g.paint_disk(2.5_um, 2.5_um, 1_um, Complex{3.9, 0.0});
+  g.paint_disk(2.5_um, 2.5_um, 1_um, Complex{3.9, 0.0}, 0);
+  const auto map = field::permittivity_map(g);
+  ASSERT_EQ(map.size(), g.size());
+  // The conductor cells must be the brightest pixels.
+  const double center = map[g.index(g.nx() / 2, g.ny() / 2)];
+  for (const double v : map) EXPECT_LE(v, center);
+}
+
+TEST(Export, PotentialMapMatchesSolution) {
+  Grid g(8_um, 8_um, 0.25_um);
+  g.fill(Complex{1.0, 0.0});
+  g.paint_disk(4_um, 4_um, 1_um, Complex{1.0, 0.0}, 0);
+  field::FieldProblem problem(g);
+  const auto phi = problem.solve(0, {}, nullptr);
+  const auto map = field::potential_map(g, phi);
+  ASSERT_EQ(map.size(), g.size());
+  // 1 V on the conductor, decaying towards the grounded boundary.
+  EXPECT_DOUBLE_EQ(map[g.index(g.nx() / 2, g.ny() / 2)], 1.0);
+  EXPECT_LT(map[g.index(1, 1)], 0.2);
+  const std::vector<Complex> wrong(3);
+  EXPECT_THROW(field::potential_map(g, wrong), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Unit tests for the persistence layers: capacitance-model files, word-trace
+// files and assignment files (round-trips and malformed-input rejection).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/assignment_io.hpp"
+#include "streams/trace_io.hpp"
+#include "tsv/model_io.hpp"
+
+namespace {
+
+using namespace tsvcod;
+
+TEST(ModelIo, RoundTripExact) {
+  const auto geom = phys::TsvArrayGeometry::itrs2018_min(3, 3);
+  const auto model = tsv::fit_from_analytic(geom);
+  std::stringstream ss;
+  tsv::save_linear_model(ss, model);
+  const auto loaded = tsv::load_linear_model(ss);
+  ASSERT_EQ(loaded.size(), model.size());
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_DOUBLE_EQ(loaded.c_ref()(i, j), model.c_ref()(i, j));
+      EXPECT_DOUBLE_EQ(loaded.delta_c()(i, j), model.delta_c()(i, j));
+    }
+  }
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(tsv::load_linear_model(empty), std::runtime_error);
+  std::stringstream wrong("not-a-model v1\nn 2\n");
+  EXPECT_THROW(tsv::load_linear_model(wrong), std::runtime_error);
+  std::stringstream truncated("tsvcod-linear-capacitance v1\nn 2\nCR 1 2\n");
+  EXPECT_THROW(tsv::load_linear_model(truncated), std::runtime_error);
+  std::stringstream bad_size("tsvcod-linear-capacitance v1\nn 0\n");
+  EXPECT_THROW(tsv::load_linear_model(bad_size), std::runtime_error);
+}
+
+TEST(TraceIo, ParsesHexDecimalAndComments) {
+  std::stringstream ss("# header\n0x1F\n42\n\n   0xff  \n");
+  const auto words = streams::parse_trace(ss);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], 0x1Fu);
+  EXPECT_EQ(words[1], 42u);
+  EXPECT_EQ(words[2], 0xFFu);
+}
+
+TEST(TraceIo, RoundTrip) {
+  std::mt19937_64 rng(1);
+  std::vector<std::uint64_t> words(500);
+  for (auto& w : words) w = rng();
+  std::stringstream ss;
+  streams::save_trace(ss, words);
+  EXPECT_EQ(streams::parse_trace(ss), words);
+}
+
+TEST(TraceIo, RejectsBadLines) {
+  std::stringstream ss("12\nnot_a_number\n");
+  EXPECT_THROW(streams::parse_trace(ss), std::runtime_error);
+  std::stringstream ss2("0x12zz\n");
+  EXPECT_THROW(streams::parse_trace(ss2), std::runtime_error);
+}
+
+TEST(AssignmentIo, RoundTrip) {
+  std::mt19937_64 rng(7);
+  const auto a =
+      core::SignedPermutation::random(12, rng, std::vector<std::uint8_t>(12, 1));
+  std::stringstream ss;
+  core::save_assignment(ss, a);
+  const auto loaded = core::load_assignment(ss);
+  EXPECT_EQ(loaded, a);
+}
+
+TEST(AssignmentIo, RejectsDuplicatesAndBadLines) {
+  std::stringstream dup(
+      "tsvcod-assignment v1\nn 2\nmap 0 0 0\nmap 0 1 0\n");
+  EXPECT_THROW(core::load_assignment(dup), std::runtime_error);
+  std::stringstream range("tsvcod-assignment v1\nn 2\nmap 0 5 0\nmap 1 1 0\n");
+  EXPECT_THROW(core::load_assignment(range), std::runtime_error);
+  std::stringstream clash(
+      "tsvcod-assignment v1\nn 2\nmap 0 1 0\nmap 1 1 0\n");
+  EXPECT_THROW(core::load_assignment(clash), std::runtime_error);  // not a permutation
+}
+
+TEST(AssignmentIo, GridRendering) {
+  const auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  core::SignedPermutation a({3, 2, 1, 0}, {1, 0, 0, 0});
+  const std::string grid = core::format_assignment_grid(geom, a);
+  // Line 0 carries bit 3, line 3 carries bit 0 inverted.
+  EXPECT_NE(grid.find(" 3"), std::string::npos);
+  EXPECT_NE(grid.find("~ 0"), std::string::npos);
+  const auto wrong = phys::TsvArrayGeometry::itrs2018_min(3, 3);
+  EXPECT_THROW(core::format_assignment_grid(wrong, a), std::invalid_argument);
+}
+
+}  // namespace

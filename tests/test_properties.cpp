@@ -1,0 +1,180 @@
+// Property-based sweeps across geometries, array sizes and random seeds:
+// invariants that must hold for every parameter combination, not just the
+// paper's configurations.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "core/link.hpp"
+#include "streams/random_streams.hpp"
+#include "tsv/analytic_model.hpp"
+
+namespace {
+
+using namespace tsvcod;
+using phys::TsvArrayGeometry;
+
+// ---------------------------------------------------------------------------
+// Capacitance-model invariants over the (radius, pitch, array-size) space.
+// ---------------------------------------------------------------------------
+
+using GeometryParam = std::tuple<double, double, std::size_t>;  // r [um], d [um], n
+
+class CapacitanceSweep : public ::testing::TestWithParam<GeometryParam> {
+ protected:
+  TsvArrayGeometry make() const {
+    const auto [r_um, d_um, n] = GetParam();
+    TsvArrayGeometry g;
+    g.rows = g.cols = n;
+    g.radius = r_um * 1e-6;
+    g.pitch = d_um * 1e-6;
+    return g;
+  }
+};
+
+TEST_P(CapacitanceSweep, MatrixIsSymmetricPositive) {
+  const auto g = make();
+  const auto c = tsv::analytic_capacitance(g, std::vector<double>(g.count(), 0.5));
+  for (std::size_t i = 0; i < g.count(); ++i) {
+    for (std::size_t j = 0; j < g.count(); ++j) {
+      EXPECT_DOUBLE_EQ(c(i, j), c(j, i));
+      EXPECT_GE(c(i, j), 0.0);
+    }
+  }
+}
+
+TEST_P(CapacitanceSweep, EdgeEffectOrderingHolds) {
+  const auto g = make();
+  if (g.rows < 3) GTEST_SKIP() << "needs a middle TSV";
+  const auto c = tsv::analytic_capacitance(g, std::vector<double>(g.count(), 0.5));
+  const auto total = [&](std::size_t i) {
+    double t = 0.0;
+    for (std::size_t j = 0; j < g.count(); ++j) t += c(i, j);
+    return t;
+  };
+  const auto corner = g.index(0, 0);
+  const auto edge = g.index(0, 1);
+  const auto mid = g.index(1, 1);
+  EXPECT_LT(total(corner), total(edge));
+  EXPECT_LT(total(edge), total(mid));
+  EXPECT_GT(c(corner, edge), c(corner, g.index(1, 1)));  // direct > diagonal
+}
+
+TEST_P(CapacitanceSweep, MosMonotoneInProbability) {
+  const auto g = make();
+  phys::Matrix prev;
+  for (const double pr : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto c = tsv::analytic_capacitance(g, std::vector<double>(g.count(), pr));
+    if (!prev.empty()) {
+      for (std::size_t i = 0; i < g.count(); ++i) {
+        for (std::size_t j = 0; j < g.count(); ++j) {
+          EXPECT_LE(c(i, j), prev(i, j) + 1e-21)
+              << "capacitance must not grow with probability (i=" << i << ", j=" << j << ")";
+        }
+      }
+    }
+    prev = c;
+  }
+}
+
+TEST_P(CapacitanceSweep, RotationInvariance) {
+  // A square array is invariant under 90-degree rotation; so must be the
+  // capacitance model: C(i, j) == C(rot(i), rot(j)).
+  const auto g = make();
+  const auto c = tsv::analytic_capacitance(g, std::vector<double>(g.count(), 0.5));
+  const auto rot = [&](std::size_t i) {
+    const std::size_t r = g.row_of(i);
+    const std::size_t col = g.col_of(i);
+    return g.index(col, g.rows - 1 - r);
+  };
+  for (std::size_t i = 0; i < g.count(); ++i) {
+    for (std::size_t j = 0; j < g.count(); ++j) {
+      EXPECT_NEAR(c(i, j), c(rot(i), rot(j)), 1e-9 * (c(i, j) + 1e-18));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CapacitanceSweep,
+                         ::testing::Values(GeometryParam{1.0, 4.0, 2},
+                                           GeometryParam{1.0, 4.0, 3},
+                                           GeometryParam{1.0, 4.0, 5},
+                                           GeometryParam{2.0, 8.0, 3},
+                                           GeometryParam{2.0, 8.0, 4},
+                                           GeometryParam{1.0, 4.5, 5},
+                                           GeometryParam{0.5, 2.0, 3},
+                                           GeometryParam{3.0, 12.0, 3}));
+
+// ---------------------------------------------------------------------------
+// Power-model invariants.
+// ---------------------------------------------------------------------------
+
+class PowerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PowerSweep, RotatedAssignmentHasIdenticalPower) {
+  // Rotating an assignment with the array's symmetry must not change power —
+  // a joint consistency check of geometry, model and the A_pi transform.
+  const auto geom = TsvArrayGeometry::itrs2018_min(3, 3);
+  const core::Link link(geom);
+  streams::SequentialStream src(9, 0.1, GetParam());
+  const auto st = link.measure(src, 20000);
+
+  std::mt19937_64 rng(GetParam());
+  const auto a = core::SignedPermutation::random(9, rng, std::vector<std::uint8_t>(9, 1));
+
+  std::vector<std::size_t> rotated_lines(9);
+  std::vector<std::uint8_t> inv(9);
+  for (std::size_t bit = 0; bit < 9; ++bit) {
+    const std::size_t l = a.line_of_bit(bit);
+    rotated_lines[bit] = geom.index(geom.col_of(l), geom.rows - 1 - geom.row_of(l));
+    inv[bit] = a.inverted(bit) ? 1 : 0;
+  }
+  const core::SignedPermutation rotated(std::move(rotated_lines), std::move(inv));
+  const double pa = link.power(st, a);
+  const double pb = link.power(st, rotated);
+  EXPECT_NEAR(pa, pb, 1e-9 * pa);
+}
+
+TEST_P(PowerSweep, GlobalInversionIsNeutralForBalancedData) {
+  // For probability-balanced data with inversion-symmetric statistics,
+  // inverting *all* lines flips every eps and leaves T'c unchanged
+  // (signs cancel pairwise), so the power change is bounded by the eps
+  // asymmetry of the stream (small for a near-balanced stream).
+  const auto geom = TsvArrayGeometry::itrs2018_min(2, 3);
+  const core::Link link(geom);
+  streams::UniformRandomStream src(6, GetParam());
+  const auto st = link.measure(src, 60000);
+
+  auto plain = core::SignedPermutation::identity(6);
+  auto flipped = core::SignedPermutation::identity(6);
+  for (std::size_t b = 0; b < 6; ++b) flipped.toggle_inversion(b);
+  const double pp = link.power(st, plain);
+  const double pf = link.power(st, flipped);
+  EXPECT_NEAR(pf / pp, 1.0, 0.01);
+}
+
+TEST_P(PowerSweep, OptimalNeverWorseThanAnyBaseline) {
+  const auto geom = TsvArrayGeometry::itrs2018_min(2, 3);
+  const core::Link link(geom);
+  streams::GaussianAr1Stream src(6, 10.0, 0.4, GetParam());
+  const auto st = link.measure(src, 30000);
+
+  core::OptimizeOptions opts;
+  opts.schedule.iterations = 4000;
+  opts.seed = static_cast<unsigned>(GetParam());
+  const auto best = core::optimize_assignment(st, link.model(), opts);
+  EXPECT_LE(best.power,
+            link.power(st, core::SignedPermutation::identity(6)) * (1.0 + 1e-12));
+  EXPECT_LE(best.power, link.power(st, core::spiral_assignment(geom, st)) * (1.0 + 1e-12));
+  EXPECT_LE(best.power, link.power(st, core::sawtooth_assignment(geom, st)) * (1.0 + 1e-12));
+  std::mt19937_64 rng(GetParam() + 1);
+  for (int k = 0; k < 20; ++k) {
+    const auto r = core::SignedPermutation::random(6, rng);
+    EXPECT_LE(best.power, link.power(st, r) * (1.0 + 1e-12));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace

@@ -1,0 +1,266 @@
+// tsvcod_cli — command-line front end for the design flow.
+//
+// Subcommands:
+//   extract   fit a capacitance model for an array (analytic or field solver)
+//             and write it to a file for later runs.
+//   optimize  find the power-optimal signed permutation for a word trace.
+//   evaluate  price a stored assignment against a trace.
+//   mappings  print the systematic Spiral/Sawtooth layouts for an array.
+//   overhead  run the Sec. 3 routing-overhead study for an array.
+//
+// Examples:
+//   tsvcod_cli extract --rows 4 --cols 4 --radius-um 2 --pitch-um 8 --out m.txt
+//   tsvcod_cli optimize --model m.txt --trace bus.txt --no-invert 14,15 \
+//                       --out assignment.txt
+//   tsvcod_cli evaluate --model m.txt --trace bus.txt --assignment assignment.txt
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/assignment_io.hpp"
+#include "core/link.hpp"
+#include "field/export.hpp"
+#include "field/extractor.hpp"
+#include "streams/trace_io.hpp"
+#include "tsv/model_io.hpp"
+#include "tsv/routing.hpp"
+
+using namespace tsvcod;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) throw std::runtime_error("expected --flag, got: " + key);
+      key = key.substr(2);
+      if (i + 1 >= argc) throw std::runtime_error("missing value for --" + key);
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool has(const std::string& k) const { return values_.count(k) > 0; }
+
+  std::string str(const std::string& k) const {
+    const auto it = values_.find(k);
+    if (it == values_.end()) throw std::runtime_error("missing required --" + k);
+    return it->second;
+  }
+  std::string str_or(const std::string& k, const std::string& def) const {
+    return has(k) ? values_.at(k) : def;
+  }
+  double number(const std::string& k) const { return std::stod(str(k)); }
+  double number_or(const std::string& k, double def) const {
+    return has(k) ? std::stod(values_.at(k)) : def;
+  }
+  std::size_t size(const std::string& k) const { return std::stoull(str(k)); }
+  std::size_t size_or(const std::string& k, std::size_t def) const {
+    return has(k) ? std::stoull(values_.at(k)) : def;
+  }
+
+  /// Comma-separated list of bit indices.
+  std::vector<std::size_t> index_list_or(const std::string& k) const {
+    std::vector<std::size_t> out;
+    if (!has(k)) return out;
+    std::istringstream ss(values_.at(k));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) out.push_back(std::stoull(tok));
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+phys::TsvArrayGeometry geometry_from(const Args& args) {
+  phys::TsvArrayGeometry g;
+  g.rows = args.size("rows");
+  g.cols = args.size("cols");
+  g.radius = args.number_or("radius-um", 1.0) * 1e-6;
+  g.pitch = args.number_or("pitch-um", 4.0) * 1e-6;
+  g.length = args.number_or("length-um", 50.0) * 1e-6;
+  g.validate();
+  return g;
+}
+
+tsv::LinearCapacitanceModel model_from(const Args& args) {
+  if (args.has("model")) return tsv::load_linear_model(args.str("model"));
+  return tsv::fit_from_analytic(geometry_from(args));
+}
+
+int cmd_extract(const Args& args) {
+  const auto geom = geometry_from(args);
+  tsv::LinearCapacitanceModel model;
+  const std::string backend = args.str_or("backend", "analytic");
+  if (backend == "field") {
+    field::ExtractionOptions fo;
+    fo.cell = args.number_or("cell-um", 0.125) * 1e-6;
+    std::printf("running field extraction (%zux%zu, cell %.3f um)...\n", geom.rows, geom.cols,
+                fo.cell * 1e6);
+    model = tsv::fit_from_field(geom, fo);
+  } else if (backend == "analytic") {
+    model = tsv::fit_from_analytic(geom);
+  } else {
+    throw std::runtime_error("unknown --backend (use analytic|field)");
+  }
+  const std::string out = args.str("out");
+  tsv::save_linear_model(out, model);
+  std::printf("model written to %s (n = %zu)\n", out.c_str(), model.size());
+  std::printf("C_R(0,0) = %.2f fF, C_R(0,1) = %.2f fF, DC(0,1) = %.2f fF\n",
+              model.c_ref()(0, 0) * 1e15, model.c_ref()(0, 1) * 1e15,
+              model.delta_c()(0, 1) * 1e15);
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  const auto geom = geometry_from(args);
+  const core::Link link(geom, model_from(args));
+  const auto words = streams::load_trace(args.str("trace"));
+  if (words.size() < 2) throw std::runtime_error("trace too short");
+  const auto st = stats::compute_stats(words, link.width());
+
+  core::OptimizeOptions opts;
+  opts.seed = static_cast<unsigned>(args.size_or("seed", 1));
+  opts.schedule.iterations = static_cast<int>(args.size_or("iterations", 20000));
+  const auto frozen = args.index_list_or("no-invert");
+  if (!frozen.empty()) {
+    opts.allow_invert.assign(link.width(), 1);
+    for (const auto bit : frozen) {
+      if (bit >= link.width()) throw std::runtime_error("--no-invert bit out of range");
+      opts.allow_invert[bit] = 0;
+    }
+  }
+
+  const auto best = core::optimize_assignment(st, link.model(), opts);
+  const auto base = core::random_assignment_power(st, link.model());
+  const auto spiral = core::spiral_assignment(geom, st);
+  const auto sawtooth = core::sawtooth_assignment(geom, st);
+
+  std::printf("trace words              : %zu\n", words.size());
+  std::printf("random assignment (mean) : %10.1f aF\n", base.mean * 1e18);
+  std::printf("Spiral                   : %10.1f aF  (-%.1f %%)\n",
+              link.power(st, spiral) * 1e18,
+              core::reduction_pct(base.mean, link.power(st, spiral)));
+  std::printf("Sawtooth                 : %10.1f aF  (-%.1f %%)\n",
+              link.power(st, sawtooth) * 1e18,
+              core::reduction_pct(base.mean, link.power(st, sawtooth)));
+  std::printf("optimal                  : %10.1f aF  (-%.1f %%)\n", best.power * 1e18,
+              core::reduction_pct(base.mean, best.power));
+  std::printf("\n%s", core::format_assignment_grid(geom, best.assignment).c_str());
+
+  if (args.has("out")) {
+    core::save_assignment(args.str("out"), best.assignment);
+    std::printf("assignment written to %s\n", args.str("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto geom = geometry_from(args);
+  const core::Link link(geom, model_from(args));
+  const auto words = streams::load_trace(args.str("trace"));
+  const auto st = stats::compute_stats(words, link.width());
+  const auto a = core::load_assignment(args.str("assignment"));
+  const auto base = core::random_assignment_power(st, link.model());
+  const double p = link.power(st, a);
+  std::printf("assignment power         : %10.1f aF\n", p * 1e18);
+  std::printf("random assignment (mean) : %10.1f aF\n", base.mean * 1e18);
+  std::printf("reduction                : %.1f %%\n", core::reduction_pct(base.mean, p));
+  return 0;
+}
+
+int cmd_mappings(const Args& args) {
+  const auto geom = geometry_from(args);
+  const auto show = [&](const char* name, const std::vector<std::size_t>& order) {
+    // Render visit ranks in array shape.
+    std::vector<std::size_t> rank(geom.count());
+    for (std::size_t k = 0; k < order.size(); ++k) rank[order[k]] = k;
+    std::printf("%s order (visit rank per TSV):\n", name);
+    for (std::size_t r = 0; r < geom.rows; ++r) {
+      for (std::size_t c = 0; c < geom.cols; ++c) std::printf(" %3zu", rank[geom.index(r, c)]);
+      std::printf("\n");
+    }
+  };
+  show("Spiral", core::spiral_order(geom));
+  show("Sawtooth", core::sawtooth_order(geom));
+  return 0;
+}
+
+int cmd_fieldmap(const Args& args) {
+  const auto geom = geometry_from(args);
+  const std::vector<double> pr(geom.count(), args.number_or("probability", 0.5));
+  field::ExtractionOptions fo;
+  fo.cell = args.number_or("cell-um", 0.1) * 1e-6;
+  const auto grid = field::build_array_grid(geom, pr, fo);
+  const std::string prefix = args.str("out");
+
+  field::write_pgm(prefix + "_geometry.pgm", grid.nx(), grid.ny(),
+                   field::permittivity_map(grid));
+  const field::FieldProblem problem(grid);
+  field::SolveStats stats;
+  const auto phi = problem.solve(0, fo.solver, &stats);
+  field::write_pgm(prefix + "_phi0.pgm", grid.nx(), grid.ny(),
+                   field::potential_map(grid, phi));
+  std::printf("wrote %s_geometry.pgm and %s_phi0.pgm (%zux%zu, solve %s in %d iters)\n",
+              prefix.c_str(), prefix.c_str(), grid.nx(), grid.ny(),
+              stats.converged ? "converged" : "NOT converged", stats.iterations);
+  return stats.converged ? 0 : 1;
+}
+
+int cmd_overhead(const Args& args) {
+  const auto geom = geometry_from(args);
+  const std::vector<double> pr(geom.count(), 0.5);
+  const auto cap = tsv::analytic_capacitance(geom, pr);
+  std::vector<double> totals(geom.count(), 0.0);
+  for (std::size_t i = 0; i < geom.count(); ++i) {
+    for (std::size_t j = 0; j < geom.count(); ++j) totals[i] += cap(i, j);
+  }
+  const auto stats = tsv::routing_overhead_stats(geom, totals);
+  std::printf("assignments : %zu (%s)\n", stats.assignments,
+              stats.exhaustive ? "exhaustive" : "sampled");
+  std::printf("worst  : %.3f %%\nmean   : %.3f %%\nstddev : %.3f %%\n", stats.worst_pct,
+              stats.mean_pct, stats.stddev_pct);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: tsvcod_cli <extract|optimize|evaluate|mappings|overhead|fieldmap> [--flags]\n"
+      "common flags : --rows N --cols N --radius-um R --pitch-um D [--length-um L]\n"
+      "extract      : [--backend analytic|field] [--cell-um C] --out FILE\n"
+      "optimize     : [--model FILE] --trace FILE [--no-invert i,j] [--iterations N]\n"
+      "               [--seed S] [--out FILE]\n"
+      "evaluate     : [--model FILE] --trace FILE --assignment FILE\n"
+      "fieldmap     : [--probability P] [--cell-um C] --out PREFIX\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "extract") return cmd_extract(args);
+    if (cmd == "optimize") return cmd_optimize(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "mappings") return cmd_mappings(args);
+    if (cmd == "overhead") return cmd_overhead(args);
+    if (cmd == "fieldmap") return cmd_fieldmap(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
