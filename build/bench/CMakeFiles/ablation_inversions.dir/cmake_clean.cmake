@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inversions.dir/ablation_inversions.cpp.o"
+  "CMakeFiles/ablation_inversions.dir/ablation_inversions.cpp.o.d"
+  "ablation_inversions"
+  "ablation_inversions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inversions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_partitioning.dir/bus_partitioning.cpp.o"
+  "CMakeFiles/bus_partitioning.dir/bus_partitioning.cpp.o.d"
+  "bus_partitioning"
+  "bus_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_comparison.dir/cac_comparison.cpp.o"
+  "CMakeFiles/cac_comparison.dir/cac_comparison.cpp.o.d"
+  "cac_comparison"
+  "cac_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

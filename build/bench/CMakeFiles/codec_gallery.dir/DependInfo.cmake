@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/codec_gallery.cpp" "bench/CMakeFiles/codec_gallery.dir/codec_gallery.cpp.o" "gcc" "bench/CMakeFiles/codec_gallery.dir/codec_gallery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coding/CMakeFiles/tsvcod_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/tsvcod_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tsvcod_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsvcod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsv/CMakeFiles/tsvcod_tsv.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/tsvcod_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsvcod_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/tsvcod_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/tsvcod_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

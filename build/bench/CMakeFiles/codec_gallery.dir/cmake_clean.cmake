@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_gallery.dir/codec_gallery.cpp.o"
+  "CMakeFiles/codec_gallery.dir/codec_gallery.cpp.o.d"
+  "codec_gallery"
+  "codec_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_convergence.dir/extraction_convergence.cpp.o"
+  "CMakeFiles/extraction_convergence.dir/extraction_convergence.cpp.o.d"
+  "extraction_convergence"
+  "extraction_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

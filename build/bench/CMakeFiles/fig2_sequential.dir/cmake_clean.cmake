@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sequential.dir/fig2_sequential.cpp.o"
+  "CMakeFiles/fig2_sequential.dir/fig2_sequential.cpp.o.d"
+  "fig2_sequential"
+  "fig2_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

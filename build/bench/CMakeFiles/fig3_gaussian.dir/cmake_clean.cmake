@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_gaussian.dir/fig3_gaussian.cpp.o"
+  "CMakeFiles/fig3_gaussian.dir/fig3_gaussian.cpp.o.d"
+  "fig3_gaussian"
+  "fig3_gaussian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_image.dir/fig4_image.cpp.o"
+  "CMakeFiles/fig4_image.dir/fig4_image.cpp.o.d"
+  "fig4_image"
+  "fig4_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mems.dir/fig5_mems.cpp.o"
+  "CMakeFiles/fig5_mems.dir/fig5_mems.cpp.o.d"
+  "fig5_mems"
+  "fig5_mems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_circuit.dir/fig6_circuit.cpp.o"
+  "CMakeFiles/fig6_circuit.dir/fig6_circuit.cpp.o.d"
+  "fig6_circuit"
+  "fig6_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_geometry.dir/headline_geometry.cpp.o"
+  "CMakeFiles/headline_geometry.dir/headline_geometry.cpp.o.d"
+  "headline_geometry"
+  "headline_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

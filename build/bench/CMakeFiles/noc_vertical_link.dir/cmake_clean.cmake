@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_vertical_link.dir/noc_vertical_link.cpp.o"
+  "CMakeFiles/noc_vertical_link.dir/noc_vertical_link.cpp.o.d"
+  "noc_vertical_link"
+  "noc_vertical_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_vertical_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_stale_stats.dir/robustness_stale_stats.cpp.o"
+  "CMakeFiles/robustness_stale_stats.dir/robustness_stale_stats.cpp.o.d"
+  "robustness_stale_stats"
+  "robustness_stale_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_stale_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_crosstalk.dir/si_crosstalk.cpp.o"
+  "CMakeFiles/si_crosstalk.dir/si_crosstalk.cpp.o.d"
+  "si_crosstalk"
+  "si_crosstalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

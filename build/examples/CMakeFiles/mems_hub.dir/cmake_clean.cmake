@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mems_hub.dir/mems_hub.cpp.o"
+  "CMakeFiles/mems_hub.dir/mems_hub.cpp.o.d"
+  "mems_hub"
+  "mems_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mems_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

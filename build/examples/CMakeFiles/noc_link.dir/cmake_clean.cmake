@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_link.dir/noc_link.cpp.o"
+  "CMakeFiles/noc_link.dir/noc_link.cpp.o.d"
+  "noc_link"
+  "noc_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

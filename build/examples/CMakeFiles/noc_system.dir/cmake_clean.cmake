@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_system.dir/noc_system.cpp.o"
+  "CMakeFiles/noc_system.dir/noc_system.cpp.o.d"
+  "noc_system"
+  "noc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsoc_camera.dir/vsoc_camera.cpp.o"
+  "CMakeFiles/vsoc_camera.dir/vsoc_camera.cpp.o.d"
+  "vsoc_camera"
+  "vsoc_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsoc_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/crosstalk.cpp" "src/circuit/CMakeFiles/tsvcod_circuit.dir/crosstalk.cpp.o" "gcc" "src/circuit/CMakeFiles/tsvcod_circuit.dir/crosstalk.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/tsvcod_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/tsvcod_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/tsvcod_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/tsvcod_circuit.dir/transient.cpp.o.d"
+  "/root/repo/src/circuit/tsv_link_sim.cpp" "src/circuit/CMakeFiles/tsvcod_circuit.dir/tsv_link_sim.cpp.o" "gcc" "src/circuit/CMakeFiles/tsvcod_circuit.dir/tsv_link_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/tsvcod_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_circuit.dir/crosstalk.cpp.o"
+  "CMakeFiles/tsvcod_circuit.dir/crosstalk.cpp.o.d"
+  "CMakeFiles/tsvcod_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/tsvcod_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/tsvcod_circuit.dir/transient.cpp.o"
+  "CMakeFiles/tsvcod_circuit.dir/transient.cpp.o.d"
+  "CMakeFiles/tsvcod_circuit.dir/tsv_link_sim.cpp.o"
+  "CMakeFiles/tsvcod_circuit.dir/tsv_link_sim.cpp.o.d"
+  "libtsvcod_circuit.a"
+  "libtsvcod_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/bus_invert.cpp" "src/coding/CMakeFiles/tsvcod_coding.dir/bus_invert.cpp.o" "gcc" "src/coding/CMakeFiles/tsvcod_coding.dir/bus_invert.cpp.o.d"
+  "/root/repo/src/coding/correlator.cpp" "src/coding/CMakeFiles/tsvcod_coding.dir/correlator.cpp.o" "gcc" "src/coding/CMakeFiles/tsvcod_coding.dir/correlator.cpp.o.d"
+  "/root/repo/src/coding/fibonacci.cpp" "src/coding/CMakeFiles/tsvcod_coding.dir/fibonacci.cpp.o" "gcc" "src/coding/CMakeFiles/tsvcod_coding.dir/fibonacci.cpp.o.d"
+  "/root/repo/src/coding/gray.cpp" "src/coding/CMakeFiles/tsvcod_coding.dir/gray.cpp.o" "gcc" "src/coding/CMakeFiles/tsvcod_coding.dir/gray.cpp.o.d"
+  "/root/repo/src/coding/t0.cpp" "src/coding/CMakeFiles/tsvcod_coding.dir/t0.cpp.o" "gcc" "src/coding/CMakeFiles/tsvcod_coding.dir/t0.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/tsvcod_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/tsvcod_streams.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_coding.dir/bus_invert.cpp.o"
+  "CMakeFiles/tsvcod_coding.dir/bus_invert.cpp.o.d"
+  "CMakeFiles/tsvcod_coding.dir/correlator.cpp.o"
+  "CMakeFiles/tsvcod_coding.dir/correlator.cpp.o.d"
+  "CMakeFiles/tsvcod_coding.dir/fibonacci.cpp.o"
+  "CMakeFiles/tsvcod_coding.dir/fibonacci.cpp.o.d"
+  "CMakeFiles/tsvcod_coding.dir/gray.cpp.o"
+  "CMakeFiles/tsvcod_coding.dir/gray.cpp.o.d"
+  "CMakeFiles/tsvcod_coding.dir/t0.cpp.o"
+  "CMakeFiles/tsvcod_coding.dir/t0.cpp.o.d"
+  "libtsvcod_coding.a"
+  "libtsvcod_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

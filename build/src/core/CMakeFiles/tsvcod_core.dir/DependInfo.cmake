@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cpp" "src/core/CMakeFiles/tsvcod_core.dir/assignment.cpp.o" "gcc" "src/core/CMakeFiles/tsvcod_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/core/assignment_io.cpp" "src/core/CMakeFiles/tsvcod_core.dir/assignment_io.cpp.o" "gcc" "src/core/CMakeFiles/tsvcod_core.dir/assignment_io.cpp.o.d"
+  "/root/repo/src/core/bus.cpp" "src/core/CMakeFiles/tsvcod_core.dir/bus.cpp.o" "gcc" "src/core/CMakeFiles/tsvcod_core.dir/bus.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/tsvcod_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/tsvcod_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/link.cpp" "src/core/CMakeFiles/tsvcod_core.dir/link.cpp.o" "gcc" "src/core/CMakeFiles/tsvcod_core.dir/link.cpp.o.d"
+  "/root/repo/src/core/mappings.cpp" "src/core/CMakeFiles/tsvcod_core.dir/mappings.cpp.o" "gcc" "src/core/CMakeFiles/tsvcod_core.dir/mappings.cpp.o.d"
+  "/root/repo/src/core/optimize.cpp" "src/core/CMakeFiles/tsvcod_core.dir/optimize.cpp.o" "gcc" "src/core/CMakeFiles/tsvcod_core.dir/optimize.cpp.o.d"
+  "/root/repo/src/core/power.cpp" "src/core/CMakeFiles/tsvcod_core.dir/power.cpp.o" "gcc" "src/core/CMakeFiles/tsvcod_core.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/tsvcod_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsv/CMakeFiles/tsvcod_tsv.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsvcod_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/tsvcod_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/tsvcod_field.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_core.dir/assignment.cpp.o"
+  "CMakeFiles/tsvcod_core.dir/assignment.cpp.o.d"
+  "CMakeFiles/tsvcod_core.dir/assignment_io.cpp.o"
+  "CMakeFiles/tsvcod_core.dir/assignment_io.cpp.o.d"
+  "CMakeFiles/tsvcod_core.dir/bus.cpp.o"
+  "CMakeFiles/tsvcod_core.dir/bus.cpp.o.d"
+  "CMakeFiles/tsvcod_core.dir/evaluator.cpp.o"
+  "CMakeFiles/tsvcod_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/tsvcod_core.dir/link.cpp.o"
+  "CMakeFiles/tsvcod_core.dir/link.cpp.o.d"
+  "CMakeFiles/tsvcod_core.dir/mappings.cpp.o"
+  "CMakeFiles/tsvcod_core.dir/mappings.cpp.o.d"
+  "CMakeFiles/tsvcod_core.dir/optimize.cpp.o"
+  "CMakeFiles/tsvcod_core.dir/optimize.cpp.o.d"
+  "CMakeFiles/tsvcod_core.dir/power.cpp.o"
+  "CMakeFiles/tsvcod_core.dir/power.cpp.o.d"
+  "libtsvcod_core.a"
+  "libtsvcod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/export.cpp" "src/field/CMakeFiles/tsvcod_field.dir/export.cpp.o" "gcc" "src/field/CMakeFiles/tsvcod_field.dir/export.cpp.o.d"
+  "/root/repo/src/field/extractor.cpp" "src/field/CMakeFiles/tsvcod_field.dir/extractor.cpp.o" "gcc" "src/field/CMakeFiles/tsvcod_field.dir/extractor.cpp.o.d"
+  "/root/repo/src/field/grid.cpp" "src/field/CMakeFiles/tsvcod_field.dir/grid.cpp.o" "gcc" "src/field/CMakeFiles/tsvcod_field.dir/grid.cpp.o.d"
+  "/root/repo/src/field/solver.cpp" "src/field/CMakeFiles/tsvcod_field.dir/solver.cpp.o" "gcc" "src/field/CMakeFiles/tsvcod_field.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/tsvcod_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

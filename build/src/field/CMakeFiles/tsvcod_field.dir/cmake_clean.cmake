@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_field.dir/export.cpp.o"
+  "CMakeFiles/tsvcod_field.dir/export.cpp.o.d"
+  "CMakeFiles/tsvcod_field.dir/extractor.cpp.o"
+  "CMakeFiles/tsvcod_field.dir/extractor.cpp.o.d"
+  "CMakeFiles/tsvcod_field.dir/grid.cpp.o"
+  "CMakeFiles/tsvcod_field.dir/grid.cpp.o.d"
+  "CMakeFiles/tsvcod_field.dir/solver.cpp.o"
+  "CMakeFiles/tsvcod_field.dir/solver.cpp.o.d"
+  "libtsvcod_field.a"
+  "libtsvcod_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

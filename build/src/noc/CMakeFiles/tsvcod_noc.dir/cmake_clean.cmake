@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_noc.dir/router.cpp.o"
+  "CMakeFiles/tsvcod_noc.dir/router.cpp.o.d"
+  "CMakeFiles/tsvcod_noc.dir/simulator.cpp.o"
+  "CMakeFiles/tsvcod_noc.dir/simulator.cpp.o.d"
+  "CMakeFiles/tsvcod_noc.dir/topology.cpp.o"
+  "CMakeFiles/tsvcod_noc.dir/topology.cpp.o.d"
+  "CMakeFiles/tsvcod_noc.dir/traffic.cpp.o"
+  "CMakeFiles/tsvcod_noc.dir/traffic.cpp.o.d"
+  "libtsvcod_noc.a"
+  "libtsvcod_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

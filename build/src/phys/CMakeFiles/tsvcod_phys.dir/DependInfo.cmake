@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/depletion.cpp" "src/phys/CMakeFiles/tsvcod_phys.dir/depletion.cpp.o" "gcc" "src/phys/CMakeFiles/tsvcod_phys.dir/depletion.cpp.o.d"
+  "/root/repo/src/phys/tsv_geometry.cpp" "src/phys/CMakeFiles/tsvcod_phys.dir/tsv_geometry.cpp.o" "gcc" "src/phys/CMakeFiles/tsvcod_phys.dir/tsv_geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_phys.dir/depletion.cpp.o"
+  "CMakeFiles/tsvcod_phys.dir/depletion.cpp.o.d"
+  "CMakeFiles/tsvcod_phys.dir/tsv_geometry.cpp.o"
+  "CMakeFiles/tsvcod_phys.dir/tsv_geometry.cpp.o.d"
+  "libtsvcod_phys.a"
+  "libtsvcod_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

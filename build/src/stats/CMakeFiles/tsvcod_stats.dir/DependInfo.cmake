@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/dbt_model.cpp" "src/stats/CMakeFiles/tsvcod_stats.dir/dbt_model.cpp.o" "gcc" "src/stats/CMakeFiles/tsvcod_stats.dir/dbt_model.cpp.o.d"
+  "/root/repo/src/stats/subset.cpp" "src/stats/CMakeFiles/tsvcod_stats.dir/subset.cpp.o" "gcc" "src/stats/CMakeFiles/tsvcod_stats.dir/subset.cpp.o.d"
+  "/root/repo/src/stats/switching_stats.cpp" "src/stats/CMakeFiles/tsvcod_stats.dir/switching_stats.cpp.o" "gcc" "src/stats/CMakeFiles/tsvcod_stats.dir/switching_stats.cpp.o.d"
+  "/root/repo/src/stats/windowed.cpp" "src/stats/CMakeFiles/tsvcod_stats.dir/windowed.cpp.o" "gcc" "src/stats/CMakeFiles/tsvcod_stats.dir/windowed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/tsvcod_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

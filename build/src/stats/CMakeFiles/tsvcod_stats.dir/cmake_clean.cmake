@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_stats.dir/dbt_model.cpp.o"
+  "CMakeFiles/tsvcod_stats.dir/dbt_model.cpp.o.d"
+  "CMakeFiles/tsvcod_stats.dir/subset.cpp.o"
+  "CMakeFiles/tsvcod_stats.dir/subset.cpp.o.d"
+  "CMakeFiles/tsvcod_stats.dir/switching_stats.cpp.o"
+  "CMakeFiles/tsvcod_stats.dir/switching_stats.cpp.o.d"
+  "CMakeFiles/tsvcod_stats.dir/windowed.cpp.o"
+  "CMakeFiles/tsvcod_stats.dir/windowed.cpp.o.d"
+  "libtsvcod_stats.a"
+  "libtsvcod_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

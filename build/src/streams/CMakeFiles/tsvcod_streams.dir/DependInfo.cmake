@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streams/image_sensor.cpp" "src/streams/CMakeFiles/tsvcod_streams.dir/image_sensor.cpp.o" "gcc" "src/streams/CMakeFiles/tsvcod_streams.dir/image_sensor.cpp.o.d"
+  "/root/repo/src/streams/mems.cpp" "src/streams/CMakeFiles/tsvcod_streams.dir/mems.cpp.o" "gcc" "src/streams/CMakeFiles/tsvcod_streams.dir/mems.cpp.o.d"
+  "/root/repo/src/streams/random_streams.cpp" "src/streams/CMakeFiles/tsvcod_streams.dir/random_streams.cpp.o" "gcc" "src/streams/CMakeFiles/tsvcod_streams.dir/random_streams.cpp.o.d"
+  "/root/repo/src/streams/trace_io.cpp" "src/streams/CMakeFiles/tsvcod_streams.dir/trace_io.cpp.o" "gcc" "src/streams/CMakeFiles/tsvcod_streams.dir/trace_io.cpp.o.d"
+  "/root/repo/src/streams/word_stream.cpp" "src/streams/CMakeFiles/tsvcod_streams.dir/word_stream.cpp.o" "gcc" "src/streams/CMakeFiles/tsvcod_streams.dir/word_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/tsvcod_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_streams.dir/image_sensor.cpp.o"
+  "CMakeFiles/tsvcod_streams.dir/image_sensor.cpp.o.d"
+  "CMakeFiles/tsvcod_streams.dir/mems.cpp.o"
+  "CMakeFiles/tsvcod_streams.dir/mems.cpp.o.d"
+  "CMakeFiles/tsvcod_streams.dir/random_streams.cpp.o"
+  "CMakeFiles/tsvcod_streams.dir/random_streams.cpp.o.d"
+  "CMakeFiles/tsvcod_streams.dir/trace_io.cpp.o"
+  "CMakeFiles/tsvcod_streams.dir/trace_io.cpp.o.d"
+  "CMakeFiles/tsvcod_streams.dir/word_stream.cpp.o"
+  "CMakeFiles/tsvcod_streams.dir/word_stream.cpp.o.d"
+  "libtsvcod_streams.a"
+  "libtsvcod_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsvcod_streams.a"
+)

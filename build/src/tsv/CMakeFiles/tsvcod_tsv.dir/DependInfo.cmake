@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsv/analytic_model.cpp" "src/tsv/CMakeFiles/tsvcod_tsv.dir/analytic_model.cpp.o" "gcc" "src/tsv/CMakeFiles/tsvcod_tsv.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/tsv/linear_model.cpp" "src/tsv/CMakeFiles/tsvcod_tsv.dir/linear_model.cpp.o" "gcc" "src/tsv/CMakeFiles/tsvcod_tsv.dir/linear_model.cpp.o.d"
+  "/root/repo/src/tsv/model_io.cpp" "src/tsv/CMakeFiles/tsvcod_tsv.dir/model_io.cpp.o" "gcc" "src/tsv/CMakeFiles/tsvcod_tsv.dir/model_io.cpp.o.d"
+  "/root/repo/src/tsv/routing.cpp" "src/tsv/CMakeFiles/tsvcod_tsv.dir/routing.cpp.o" "gcc" "src/tsv/CMakeFiles/tsvcod_tsv.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/tsvcod_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/tsvcod_field.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

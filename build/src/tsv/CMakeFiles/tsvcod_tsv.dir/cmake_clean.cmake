@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_tsv.dir/analytic_model.cpp.o"
+  "CMakeFiles/tsvcod_tsv.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/tsvcod_tsv.dir/linear_model.cpp.o"
+  "CMakeFiles/tsvcod_tsv.dir/linear_model.cpp.o.d"
+  "CMakeFiles/tsvcod_tsv.dir/model_io.cpp.o"
+  "CMakeFiles/tsvcod_tsv.dir/model_io.cpp.o.d"
+  "CMakeFiles/tsvcod_tsv.dir/routing.cpp.o"
+  "CMakeFiles/tsvcod_tsv.dir/routing.cpp.o.d"
+  "libtsvcod_tsv.a"
+  "libtsvcod_tsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_tsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tsvcod_tsv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsv.dir/test_tsv.cpp.o"
+  "CMakeFiles/test_tsv.dir/test_tsv.cpp.o.d"
+  "test_tsv"
+  "test_tsv.pdb"
+  "test_tsv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

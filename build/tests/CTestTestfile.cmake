@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_phys[1]_include.cmake")
+include("/root/repo/build/tests/test_field[1]_include.cmake")
+include("/root/repo/build/tests/test_tsv[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_streams[1]_include.cmake")
+include("/root/repo/build/tests/test_coding[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_evaluator[1]_include.cmake")
+include("/root/repo/build/tests/test_crosstalk[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+add_test(cli_mappings "/root/repo/build/tools/tsvcod_cli" "mappings" "--rows" "3" "--cols" "3")
+set_tests_properties(cli_mappings PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_flow "bash" "-c" "    set -e; cd /root/repo/build/tools;     ./tsvcod_cli extract --rows 2 --cols 3 --radius-um 1 --pitch-um 4 --out /tmp/tsvcod_m.txt &&     python3 -c \"import random; random.seed(3); print('\\n'.join(hex(random.getrandbits(6)) for _ in range(4000)))\" > /tmp/tsvcod_t.txt &&     ./tsvcod_cli optimize --rows 2 --cols 3 --model /tmp/tsvcod_m.txt --trace /tmp/tsvcod_t.txt --no-invert 5 --iterations 3000 --out /tmp/tsvcod_a.txt &&     ./tsvcod_cli evaluate --rows 2 --cols 3 --model /tmp/tsvcod_m.txt --trace /tmp/tsvcod_t.txt --assignment /tmp/tsvcod_a.txt")
+set_tests_properties(cli_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvcod_cli.dir/tsvcod_cli.cpp.o"
+  "CMakeFiles/tsvcod_cli.dir/tsvcod_cli.cpp.o.d"
+  "tsvcod_cli"
+  "tsvcod_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvcod_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
