@@ -8,9 +8,15 @@
 #include <vector>
 
 #include "core/link.hpp"
+#include "opt/parallel.hpp"
 #include "streams/word_stream.hpp"
 
 namespace tsvcod::bench {
+
+/// Worker threads for the benches: the TSVCOD_THREADS environment override,
+/// else 1. Results are bit-identical at every thread count, so sweeps can be
+/// sped up freely without invalidating any figure.
+inline int env_threads() { return opt::default_threads(); }
 
 /// Study options with a reproducible, adequately sized annealing budget.
 inline core::StudyOptions default_study(unsigned seed = 1) {
@@ -19,6 +25,7 @@ inline core::StudyOptions default_study(unsigned seed = 1) {
   so.optimize.schedule.iterations = 15000;
   so.optimize.schedule.restarts = 3;
   so.optimize.seed = seed;
+  so.optimize.threads = env_threads();
   return so;
 }
 

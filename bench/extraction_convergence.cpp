@@ -31,6 +31,8 @@ int main() {
   for (const double cell_um : {0.4, 0.3, 0.2, 0.15, 0.1}) {
     field::ExtractionOptions opts;
     opts.cell = cell_um * 1e-6;
+    opts.threads = bench::env_threads();
+    opts.allow_nonconverged = true;  // this study reports convergence itself
     const auto res = field::extract_capacitance(geom, pr, opts);
     int iters = 0;
     for (const auto& s : res.stats) iters = std::max(iters, s.iterations);

@@ -33,8 +33,8 @@ AssignmentStudy study_assignments(const Link& link, const stats::SwitchingStats&
     throw std::invalid_argument("study_assignments: stats width does not match the array");
   }
   AssignmentStudy out;
-  const auto base =
-      random_assignment_power(bit_stats, link.model(), options.random_samples);
+  const auto base = random_assignment_power(bit_stats, link.model(), options.random_samples, 99,
+                                            options.optimize.threads);
   out.random_mean = base.mean;
   out.random_worst = base.worst;
   out.identity = link.power(bit_stats, SignedPermutation::identity(link.width()));

@@ -1,6 +1,7 @@
 #include "core/optimize.hpp"
 
 #include "core/evaluator.hpp"
+#include "opt/parallel.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -20,25 +21,24 @@ std::vector<std::uint8_t> effective_invert_mask(const OptimizeOptions& options, 
   return options.allow_invert;
 }
 
-}  // namespace
+struct ChainOutcome {
+  SignedPermutation assignment{1};
+  double power = 0.0;  ///< exact (recomputed) power of `assignment`
+  std::size_t evaluations = 0;
+};
 
-OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
-                                   const tsv::LinearCapacitanceModel& model,
-                                   const OptimizeOptions& options) {
+// One annealing chain on the incremental evaluator: moves are self-inverse
+// (swap again / toggle again), so rejection is an undo and every accept or
+// reject costs O(N) instead of the O(N^2) full evaluation. `evaluations`
+// counts candidates priced, one per probe or attempted move; the undo of a
+// rejected move restores state it has already paid for and is not counted.
+ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
+                       const tsv::LinearCapacitanceModel& model, const OptimizeOptions& options,
+                       const std::vector<std::size_t>& invertible_bits, std::uint64_t seed) {
   const std::size_t n = bit_stats.width;
-  if (model.size() != n) throw std::invalid_argument("optimize_assignment: width mismatch");
-  const auto invert_ok = effective_invert_mask(options, n);
-
-  std::vector<std::size_t> invertible_bits;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (invert_ok[i]) invertible_bits.push_back(i);
-  }
   const bool any_invertible = !invertible_bits.empty();
 
-  // Specialized annealer on the incremental evaluator: moves are
-  // self-inverse (swap again / toggle again), so rejection is an undo and
-  // every accept/reject costs O(N) instead of the O(N^2) full evaluation.
-  std::mt19937_64 rng(options.seed);
+  std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> uni(0.0, 1.0);
   std::uniform_int_distribution<int> move_kind(0, any_invertible ? 2 : 1);
   std::uniform_int_distribution<std::size_t> pick_bit(0, n - 1);
@@ -61,7 +61,6 @@ OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
     return {false, a, b};
   };
   const auto apply = [&](const Move& m) {
-    ++evaluations;
     return m.is_toggle ? ev.toggle_inversion(m.a) : ev.swap_bits(m.a, m.b);
   };
 
@@ -73,6 +72,7 @@ OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
     for (int i = 0; i < kProbe; ++i) {
       const double before = ev.power();
       const Move m = random_move();
+      ++evaluations;
       acc += std::abs(apply(m) - before);
       apply(m);  // undo
     }
@@ -94,6 +94,7 @@ OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
     for (int it = 0; it < options.schedule.iterations; ++it, t *= decay) {
       const Move m = random_move();
       const double cand = apply(m);
+      ++evaluations;
       const double d = cand - current;
       if (d <= 0.0 || uni(rng) < std::exp(-d / t)) {
         current = cand;
@@ -106,9 +107,46 @@ OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
       }
     }
   }
-  // Exact final power (the incremental value only drifts at float epsilon).
+  // Exact final power (the incremental value only drifts at float epsilon);
+  // chains are compared on this exact value so the best-of reduction is
+  // independent of per-chain accumulation order.
   const double exact = assignment_power(bit_stats, best, model);
   return {std::move(best), exact, evaluations};
+}
+
+}  // namespace
+
+OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
+                                   const tsv::LinearCapacitanceModel& model,
+                                   const OptimizeOptions& options) {
+  const std::size_t n = bit_stats.width;
+  if (model.size() != n) throw std::invalid_argument("optimize_assignment: width mismatch");
+  const auto invert_ok = effective_invert_mask(options, n);
+
+  std::vector<std::size_t> invertible_bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (invert_ok[i]) invertible_bits.push_back(i);
+  }
+
+  // Independent chains, each seeded from its logical index; scheduling can
+  // never leak into the result.
+  const std::size_t chains = static_cast<std::size_t>(std::max(1, options.chains));
+  std::vector<ChainOutcome> outcomes(chains);
+  opt::parallel_for(chains, options.threads, [&](std::size_t c) {
+    outcomes[c] =
+        run_chain(bit_stats, model, options, invertible_bits,
+                  opt::deterministic_seed(options.seed, c));
+  });
+
+  // Deterministic best-of reduction: strict < keeps the lowest chain index
+  // on ties.
+  std::size_t best_chain = 0;
+  std::size_t evaluations = 0;
+  for (std::size_t c = 0; c < chains; ++c) {
+    evaluations += outcomes[c].evaluations;
+    if (outcomes[c].power < outcomes[best_chain].power) best_chain = c;
+  }
+  return {std::move(outcomes[best_chain].assignment), outcomes[best_chain].power, evaluations};
 }
 
 OptimizeResult exhaustive_optimal(const stats::SwitchingStats& bit_stats,
@@ -162,7 +200,12 @@ OptimizeResult greedy_descent(const stats::SwitchingStats& bit_stats,
   PowerEvaluator ev(bit_stats, model, SignedPermutation::identity(n));
   std::size_t evaluations = 1;
   // Accept only clearly-improving moves so float noise cannot cycle forever.
-  const auto improves = [](double cand, double cur) { return cand < cur * (1.0 - 1e-12); };
+  // Symmetric absolute-plus-relative margin: a pure relative test against
+  // `cur` flips direction when the current power is zero or negative.
+  const auto improves = [](double cand, double cur) {
+    const double margin = 1e-30 + 1e-12 * std::max(std::abs(cand), std::abs(cur));
+    return cand < cur - margin;
+  };
 
   bool improved = true;
   while (improved) {
@@ -198,15 +241,21 @@ OptimizeResult greedy_descent(const stats::SwitchingStats& bit_stats,
 
 BaselinePowers random_assignment_power(const stats::SwitchingStats& bit_stats,
                                        const tsv::LinearCapacitanceModel& model,
-                                       std::size_t samples, unsigned seed) {
+                                       std::size_t samples, unsigned seed, int threads) {
   if (samples == 0) throw std::invalid_argument("random_assignment_power: samples must be > 0");
-  std::mt19937_64 rng(seed);
+  // Each sample owns a seed stream derived from its index; the reduction runs
+  // in sample order afterwards, so mean/worst/best are bit-identical for any
+  // thread count.
+  std::vector<double> powers(samples);
+  opt::parallel_for(samples, threads, [&](std::size_t s) {
+    std::mt19937_64 rng(opt::deterministic_seed(seed, s));
+    const auto a = SignedPermutation::random(bit_stats.width, rng);
+    powers[s] = assignment_power(bit_stats, a, model);
+  });
   BaselinePowers out;
   out.best = 1e300;
   double sum = 0.0;
-  for (std::size_t s = 0; s < samples; ++s) {
-    const auto a = SignedPermutation::random(bit_stats.width, rng);
-    const double p = assignment_power(bit_stats, a, model);
+  for (const double p : powers) {
     sum += p;
     out.worst = std::max(out.worst, p);
     out.best = std::min(out.best, p);

@@ -22,15 +22,27 @@ struct OptimizeOptions {
   /// Empty = all bits invertible (if allow_inversions).
   std::vector<std::uint8_t> allow_invert;
   unsigned seed = 1;
+  /// Independent annealing chains; each runs the full schedule on its own
+  /// seed stream (derived from `seed` and the chain index) and the lowest
+  /// final power wins, ties broken by the lower chain index. The result is
+  /// therefore a pure function of (stats, model, options) — never of the
+  /// thread count.
+  int chains = 4;
+  /// Worker threads for the chains. 0 = TSVCOD_THREADS env override, else 1.
+  int threads = 0;
 };
 
 struct OptimizeResult {
   SignedPermutation assignment;
   double power = 0.0;
+  /// Candidate assignments priced across all chains: one per probe or
+  /// attempted move (undos of rejected moves are not re-counted).
   std::size_t evaluations = 0;
 };
 
 /// Simulated-annealing search for the minimum-power signed permutation.
+/// Runs `options.chains` independent chains (in parallel when
+/// `options.threads` allows) and returns the deterministic best-of.
 OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
                                    const tsv::LinearCapacitanceModel& model,
                                    const OptimizeOptions& options = {});
@@ -56,10 +68,14 @@ struct BaselinePowers {
 };
 
 /// Random plain-permutation baseline (no inversions): what an assignment-
-/// unaware design would get. Deterministic for a fixed seed.
+/// unaware design would get. Each sample draws from its own seed stream
+/// (derived from `seed` and the sample index) and the reduction runs in
+/// sample order, so the result is deterministic for a fixed seed at every
+/// thread count. `threads` 0 = TSVCOD_THREADS env override, else 1.
 BaselinePowers random_assignment_power(const stats::SwitchingStats& bit_stats,
                                        const tsv::LinearCapacitanceModel& model,
-                                       std::size_t samples = 200, unsigned seed = 99);
+                                       std::size_t samples = 200, unsigned seed = 99,
+                                       int threads = 0);
 
 /// Percent reduction of `value` versus `baseline`.
 inline double reduction_pct(double baseline, double value) {

@@ -1,10 +1,10 @@
 #include "field/extractor.hpp"
 
-#include <atomic>
 #include <cmath>
-#include <future>
+#include <sstream>
 #include <stdexcept>
 
+#include "opt/parallel.hpp"
 #include "phys/constants.hpp"
 #include "phys/depletion.hpp"
 
@@ -55,25 +55,26 @@ CapacitanceResult extract_capacitance(const phys::TsvArrayGeometry& geom,
   phys::Matrix q_re(n, n);
   CapacitanceResult out;
   out.stats.resize(n);
-  const auto solve_one = [&](std::size_t k) {
+  // The solves are independent (FieldProblem::solve is const and each item
+  // writes a disjoint column of q_re / entry of stats), so the shared pool
+  // can run them in any order without affecting the result.
+  opt::parallel_for(n, opts.threads, [&](std::size_t k) {
     const auto phi = problem.solve(static_cast<std::int32_t>(k), opts.solver, &out.stats[k]);
     const auto q = problem.conductor_charges(phi);
     for (std::size_t m = 0; m < n; ++m) q_re(m, k) = q[m].real();
-  };
-  if (opts.threads > 1) {
-    // The solves are independent (FieldProblem::solve is const and each task
-    // writes a disjoint column of q_re / entry of stats).
-    std::vector<std::future<void>> tasks;
-    std::atomic<std::size_t> next{0};
-    const int workers = std::min<int>(opts.threads, static_cast<int>(n));
-    for (int w = 0; w < workers; ++w) {
-      tasks.push_back(std::async(std::launch::async, [&] {
-        for (std::size_t k = next.fetch_add(1); k < n; k = next.fetch_add(1)) solve_one(k);
-      }));
+  });
+
+  if (!opts.allow_nonconverged && !out.all_converged()) {
+    std::ostringstream msg;
+    msg << "extract_capacitance: field solve did not converge for conductor(s)";
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!out.stats[k].converged) {
+        msg << " " << k << " (res " << out.stats[k].residual << " after "
+            << out.stats[k].iterations << " it)";
+      }
     }
-    for (auto& t : tasks) t.get();
-  } else {
-    for (std::size_t k = 0; k < n; ++k) solve_one(k);
+    msg << "; refine ExtractionOptions::solver or set allow_nonconverged";
+    throw ConvergenceError(msg.str());
   }
 
   // Symmetrize (discretization leaves a small asymmetry) and scale by length.

@@ -13,6 +13,7 @@
 // the per-unit-length 2-D result into the array's lumped capacitances.
 
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "field/solver.hpp"
@@ -21,11 +22,25 @@
 
 namespace tsvcod::field {
 
+/// Thrown when one or more per-conductor field solves fail to converge (or
+/// break down) and the caller did not opt into partial results: the charge
+/// matrix would silently carry garbage capacitances otherwise.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct ExtractionOptions {
   double cell = 0.1e-6;       ///< grid cell edge [m]
   double margin = 0.0;        ///< substrate margin around the array [m]; 0 = auto (3 pitches)
   double frequency = 3e9;     ///< extraction frequency [Hz]
-  int threads = 1;            ///< per-conductor solves run in parallel if > 1
+  /// Worker threads for the per-conductor solves (one Dirichlet solve per
+  /// TSV, all independent). 0 = TSVCOD_THREADS env override, else 1. Results
+  /// are bit-identical at every thread count.
+  int threads = 0;
+  /// Accept non-converged solves and return whatever the solver reached
+  /// (inspect `CapacitanceResult::stats`). Default: throw ConvergenceError.
+  bool allow_nonconverged = false;
   SolverOptions solver{};
 };
 

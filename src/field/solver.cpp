@@ -133,6 +133,7 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
   std::vector<Complex> p(nu, Complex{}), v(nu, Complex{}), s(nu), t(nu);
   Complex rho{1.0, 0.0}, alpha{1.0, 0.0}, omega{1.0, 0.0};
   const double bnorm = norm2(bs);
+  const double r0norm = norm2(r0);
   double res = bnorm > 0.0 ? 1.0 : 0.0;
   int it = 0;
   if (bnorm > 0.0) {
@@ -147,7 +148,11 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
       }
       rho = rho1;
       apply_scaled(p, v);
-      alpha = rho / dot(r0, v);
+      // Breakdown guard: r0 ⟂ v makes alpha blow up to inf/NaN and taint the
+      // whole potential vector. Bail out and report non-convergence instead.
+      const Complex r0v = dot(r0, v);
+      if (std::abs(r0v) <= 1e-30 * r0norm * norm2(v)) break;
+      alpha = rho / r0v;
       for (std::size_t u = 0; u < nu; ++u) s[u] = r[u] - alpha * v[u];
       if (norm2(s) / bnorm < opts.tolerance) {
         for (std::size_t u = 0; u < nu; ++u) x[u] += alpha * p[u];
@@ -173,7 +178,8 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
   if (stats) {
     stats->iterations = it;
     stats->residual = res;
-    stats->converged = res < opts.tolerance;
+    // isfinite: a residual poisoned by overflow must never count as converged.
+    stats->converged = std::isfinite(res) && res < opts.tolerance;
   }
 
   // Scatter to the full grid, Dirichlet values included.

@@ -68,6 +68,40 @@ TEST(Evaluator, MovesAreSelfInverse) {
   EXPECT_NEAR(ev.power(), p0, 1e-9 * std::abs(p0));
 }
 
+// Long-walk drift property: the incremental power must stay within float
+// epsilon of a full recomputation over move sequences an annealing chain
+// actually performs (tens of thousands of swaps/toggles, undos included),
+// not just the few hundred the sweep above covers.
+TEST(Evaluator, LongRandomWalkStaysWithinFloatEpsilon) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_relaxed(4, 4);
+  const auto model = tsv::fit_from_analytic(geom);
+  const auto st = make_stats(16, 13);
+
+  core::PowerEvaluator ev(st, model, core::SignedPermutation::identity(16));
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<std::size_t> pick(0, 15);
+  for (int move = 0; move < 30000; ++move) {
+    switch (rng() % 4) {
+      case 0:
+        ev.toggle_inversion(pick(rng));
+        break;
+      case 1: {  // rejected move: apply then immediately undo (self-inverse)
+        const std::size_t a = pick(rng), b = pick(rng);
+        ev.swap_bits(a, b);
+        ev.swap_bits(a, b);
+        break;
+      }
+      default:
+        ev.swap_bits(pick(rng), pick(rng));
+        break;
+    }
+  }
+  const double scale = std::abs(ev.recompute()) + 1e-30;
+  EXPECT_NEAR(ev.power() / scale, ev.recompute() / scale, 1e-9);
+  EXPECT_NEAR(core::assignment_power(st, ev.assignment(), model) / scale, ev.power() / scale,
+              1e-9);
+}
+
 TEST(Evaluator, NoOpSwapKeepsPower) {
   auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
   const auto model = tsv::fit_from_analytic(geom);

@@ -153,6 +153,48 @@ TEST(Extractor, RejectsBadProbabilityVector) {
   EXPECT_THROW(field::extract_capacitance(geom, pr, {}), std::invalid_argument);
 }
 
+// Regression for the BiCGStab breakdown path: an unreachable tolerance runs
+// the solver into its guards (rho, r0.v and t.t near zero) and the iteration
+// cap. The potentials must come back finite — never NaN-tainted — with the
+// failure visible in the stats.
+TEST(Solver, BreakdownAndNonConvergenceStayFinite) {
+  Grid g(8_um, 8_um, 0.25_um);
+  g.fill(Complex{1.0, 0.0});
+  g.paint_disk(4_um, 4_um, 1_um, Complex{1.0, 0.0}, 0);
+  field::FieldProblem problem(g);
+
+  field::SolverOptions opts;
+  opts.tolerance = 0.0;  // unattainable: force breakdown or the iteration cap
+  opts.max_iterations = 200;
+  field::SolveStats stats;
+  const auto phi = problem.solve(0, opts, &stats);
+  EXPECT_FALSE(stats.converged);
+  for (const auto& c : phi) {
+    ASSERT_TRUE(std::isfinite(c.real()) && std::isfinite(c.imag()));
+  }
+  const auto q = problem.conductor_charges(phi);
+  ASSERT_TRUE(std::isfinite(q[0].real()) && std::isfinite(q[0].imag()));
+}
+
+TEST(Extractor, NonConvergedSolveRaisesInsteadOfGarbage) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const std::vector<double> pr(geom.count(), 0.5);
+  field::ExtractionOptions opts;
+  opts.cell = 0.2_um;
+  opts.solver.max_iterations = 3;  // cannot converge on hundreds of unknowns
+  EXPECT_THROW(field::extract_capacitance(geom, pr, opts), field::ConvergenceError);
+
+  // Opting into partial results keeps the stats honest instead of throwing.
+  opts.allow_nonconverged = true;
+  const auto res = field::extract_capacitance(geom, pr, opts);
+  EXPECT_FALSE(res.all_converged());
+  for (std::size_t i = 0; i < geom.count(); ++i) {
+    for (std::size_t j = 0; j < geom.count(); ++j) {
+      EXPECT_TRUE(std::isfinite(res.paper(i, j)));
+    }
+  }
+}
+
 
 TEST(Export, PgmFormatAndScaling) {
   std::ostringstream os;

@@ -102,6 +102,7 @@ int cmd_extract(const Args& args) {
   if (backend == "field") {
     field::ExtractionOptions fo;
     fo.cell = args.number_or("cell-um", 0.125) * 1e-6;
+    fo.threads = static_cast<int>(args.size_or("threads", 0));
     std::printf("running field extraction (%zux%zu, cell %.3f um)...\n", geom.rows, geom.cols,
                 fo.cell * 1e6);
     model = tsv::fit_from_field(geom, fo);
@@ -129,6 +130,7 @@ int cmd_optimize(const Args& args) {
   core::OptimizeOptions opts;
   opts.seed = static_cast<unsigned>(args.size_or("seed", 1));
   opts.schedule.iterations = static_cast<int>(args.size_or("iterations", 20000));
+  opts.threads = static_cast<int>(args.size_or("threads", 0));
   const auto frozen = args.index_list_or("no-invert");
   if (!frozen.empty()) {
     opts.allow_invert.assign(link.width(), 1);
@@ -139,7 +141,7 @@ int cmd_optimize(const Args& args) {
   }
 
   const auto best = core::optimize_assignment(st, link.model(), opts);
-  const auto base = core::random_assignment_power(st, link.model());
+  const auto base = core::random_assignment_power(st, link.model(), 200, 99, opts.threads);
   const auto spiral = core::spiral_assignment(geom, st);
   const auto sawtooth = core::sawtooth_assignment(geom, st);
 
@@ -234,6 +236,8 @@ void usage() {
   std::printf(
       "usage: tsvcod_cli <extract|optimize|evaluate|mappings|overhead|fieldmap> [--flags]\n"
       "common flags : --rows N --cols N --radius-um R --pitch-um D [--length-um L]\n"
+      "               [--threads N]  (0/unset: TSVCOD_THREADS env, else serial;\n"
+      "                results are identical at every thread count)\n"
       "extract      : [--backend analytic|field] [--cell-um C] --out FILE\n"
       "optimize     : [--model FILE] --trace FILE [--no-invert i,j] [--iterations N]\n"
       "               [--seed S] [--out FILE]\n"
