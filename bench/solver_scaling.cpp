@@ -1,0 +1,111 @@
+// Solver scaling study: BiCGStab iterations and wall time vs grid size for
+// the Jacobi and geometric-multigrid preconditioners, plus the extraction-
+// level payoff (cold vs grid-reusing warm-started probability sweeps) at the
+// default bench geometry. Run with --benchmark_format=json for the usual
+// BENCH JSON; the `iterations_solver` counter carries the convergence story
+// (flat for multigrid, growing with resolution for Jacobi).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "field/extractor.hpp"
+#include "field/solver.hpp"
+#include "phys/tsv_geometry.hpp"
+
+using namespace tsvcod;
+
+namespace {
+
+// A lossy-substrate coax: one oxide-clad conductor disk centred in an n x n
+// grid, the same cell physics as a TSV extraction.
+field::Grid make_coax_grid(std::size_t n) {
+  const double cell = 0.1e-6;
+  const double side = static_cast<double>(n) * cell;
+  field::Grid g(side, side, cell);
+  g.fill(field::Complex{11.9, -59.9});
+  g.paint_disk(side / 2, side / 2, side / 8, field::Complex{3.9, 0.0});
+  g.paint_disk(side / 2, side / 2, side / 8, field::Complex{3.9, 0.0}, 0);
+  return g;
+}
+
+void BM_FieldSolve(benchmark::State& state, field::Preconditioner pc) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const field::Grid g = make_coax_grid(n);
+  const field::FieldProblem problem(g);
+  field::SolverOptions opts;
+  opts.preconditioner = pc;
+  field::SolveStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.solve(0, opts, &stats));
+  }
+  state.counters["iterations_solver"] = stats.iterations;
+  state.counters["unknowns"] = static_cast<double>(problem.unknowns());
+  state.counters["converged"] = stats.converged ? 1.0 : 0.0;
+}
+
+// Extraction at the default bench geometry/grid (the BM_FieldExtraction2x2
+// setup): the acceptance comparison for the multigrid preconditioner.
+void BM_Extraction2x2(benchmark::State& state, field::Preconditioner pc) {
+  const auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const std::vector<double> pr(4, 0.5);
+  field::ExtractionOptions opts;
+  opts.cell = 0.25e-6;
+  opts.solver.preconditioner = pc;
+  int iters = 0;
+  for (auto _ : state) {
+    const auto res = field::extract_capacitance(geom, pr, opts);
+    benchmark::DoNotOptimize(&res);
+    iters = 0;
+    for (const auto& s : res.stats) iters += s.iterations;
+  }
+  state.counters["iterations_solver"] = iters;
+}
+
+// Five-point probability sweep, cold (a fresh extraction per point) vs the
+// CapacitanceExtractor reuse path (cached grid/problem + warm starts).
+void BM_ProbabilitySweep(benchmark::State& state, bool reuse) {
+  const auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  field::ExtractionOptions opts;
+  opts.cell = 0.25e-6;
+  const std::vector<double> points = {0.1, 0.3, 0.5, 0.7, 0.9};
+  long long iters = 0;
+  for (auto _ : state) {
+    iters = 0;
+    if (reuse) {
+      field::CapacitanceExtractor extractor(geom, opts);
+      for (const double p : points) {
+        const std::vector<double> pr(geom.count(), p);
+        benchmark::DoNotOptimize(extractor.extract(pr));
+      }
+      iters = extractor.total_iterations();
+    } else {
+      for (const double p : points) {
+        const std::vector<double> pr(geom.count(), p);
+        const auto res = field::extract_capacitance(geom, pr, opts);
+        benchmark::DoNotOptimize(&res);
+        for (const auto& s : res.stats) iters += s.iterations;
+      }
+    }
+  }
+  state.counters["iterations_solver"] = static_cast<double>(iters);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_FieldSolve, jacobi, field::Preconditioner::jacobi)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FieldSolve, multigrid, field::Preconditioner::multigrid)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Extraction2x2, jacobi, field::Preconditioner::jacobi)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Extraction2x2, multigrid, field::Preconditioner::multigrid)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ProbabilitySweep, cold, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ProbabilitySweep, reuse_warm, true)->Unit(benchmark::kMillisecond);

@@ -6,12 +6,21 @@
 // SiO2 liner, depleted annulus (lossless silicon, width from the cylindrical
 // deep-depletion Poisson solve at the signal's average voltage pr*Vdd) and
 // the lossy p-substrate with complex permittivity
-//     eps*_r = eps_r,si - j * sigma / (omega * eps0).
+//     eps*_r = eps_r - j * sigma / (omega * eps0).
 // One Dirichlet solve per conductor yields the complex charge matrix Q; the
 // effective capacitance matrix at the extraction frequency is C = Re{Q}
 // (because Y = j*omega*Q = G + j*omega*C). Scaling by the TSV length turns
 // the per-unit-length 2-D result into the array's lumped capacitances.
+//
+// For probability sweeps (model fitting, linearity studies), use
+// CapacitanceExtractor: it keeps the rasterized Grid / FieldProblem /
+// multigrid hierarchy alive across points — only the depletion annuli are
+// repainted — and warm-starts every conductor's solve from the previous
+// point's potential, so a sweep costs far less than points x cold
+// extractions. Warm starts change iteration counts only; converged
+// capacitances stay within solver tolerance of a cold start.
 
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -68,5 +77,39 @@ Grid build_array_grid(const phys::TsvArrayGeometry& geom, std::span<const double
 CapacitanceResult extract_capacitance(const phys::TsvArrayGeometry& geom,
                                       std::span<const double> probabilities,
                                       const ExtractionOptions& opts = {});
+
+/// Stateful extractor for repeated extractions of one array at different
+/// probability points. The grid dimensions and conductor layout are
+/// probability-independent, so the FieldProblem (free-cell indexing, face
+/// weights, multigrid hierarchy) is built once and only its coefficients are
+/// refreshed per point; solves warm-start from the previous point.
+class CapacitanceExtractor {
+ public:
+  CapacitanceExtractor(const phys::TsvArrayGeometry& geom, const ExtractionOptions& opts = {});
+
+  // The FieldProblem holds a reference to the owned Grid.
+  CapacitanceExtractor(const CapacitanceExtractor&) = delete;
+  CapacitanceExtractor& operator=(const CapacitanceExtractor&) = delete;
+
+  /// Extract at one probability point, reusing the cached setup. The first
+  /// call equals `extract_capacitance` exactly; later calls warm-start.
+  CapacitanceResult extract(std::span<const double> probabilities);
+
+  const Grid& grid() const { return grid_; }
+  const FieldProblem& problem() const { return *problem_; }
+  /// Total BiCGStab iterations across all calls so far (sweep cost metric).
+  long long total_iterations() const { return total_iterations_; }
+
+ private:
+  void repaint(std::span<const double> probabilities);
+
+  phys::TsvArrayGeometry geom_;
+  ExtractionOptions opts_;
+  Grid grid_;
+  std::unique_ptr<FieldProblem> problem_;
+  std::vector<double> last_widths_;             // per-TSV depletion widths on the grid
+  std::vector<std::vector<Complex>> last_phi_;  // per-conductor warm-start potentials
+  long long total_iterations_ = 0;
+};
 
 }  // namespace tsvcod::field

@@ -1,0 +1,334 @@
+#include "field/multigrid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvcod::field {
+
+namespace {
+
+Complex harmonic_mean(Complex a, Complex b) {
+  const Complex s = a + b;
+  if (std::abs(s) == 0.0) return Complex{0.0, 0.0};
+  return 2.0 * a * b / s;
+}
+
+// Degenerate-geometry escape hatch: if coarsening stalls (max_levels or a
+// sliver dimension) while the level is still too big to factor densely,
+// replace the direct solve with extra smoothing sweeps.
+constexpr std::size_t kMaxDenseUnknowns = 4096;
+
+}  // namespace
+
+bool Multigrid::viable(std::size_t nx, std::size_t ny, std::size_t free_count,
+                       const MultigridOptions& opts) {
+  return nx >= 8 && ny >= 8 && opts.max_levels >= 2 && free_count > opts.coarsest_unknowns;
+}
+
+Multigrid::Multigrid(std::size_t nx, std::size_t ny, const std::vector<std::uint8_t>& dirichlet,
+                     const std::vector<Complex>& eps, const MultigridOptions& opts)
+    : opts_(opts) {
+  if (dirichlet.size() != nx * ny || eps.size() != nx * ny) {
+    throw std::invalid_argument("Multigrid: dirichlet/eps size must be nx*ny");
+  }
+  Level fine;
+  fine.nx = nx;
+  fine.ny = ny;
+  fine.dirichlet = dirichlet;
+  fine.eps = eps;
+  fine.free_count = 0;
+  for (const auto d : dirichlet) fine.free_count += d ? 0u : 1u;
+  levels_.push_back(std::move(fine));
+
+  // Coarsen structure (Dirichlet masks) until the level is small enough for
+  // a direct solve or cannot shrink meaningfully any further.
+  while (static_cast<int>(levels_.size()) < opts_.max_levels) {
+    const Level& f = levels_.back();
+    if (f.free_count <= opts_.coarsest_unknowns) break;
+    if (f.nx < 8 || f.ny < 8) break;
+    Level c;
+    c.nx = (f.nx + 1) / 2;
+    c.ny = (f.ny + 1) / 2;
+    c.dirichlet.assign(c.nx * c.ny, 0);
+    for (std::size_t iy = 0; iy < f.ny; ++iy) {
+      for (std::size_t ix = 0; ix < f.nx; ++ix) {
+        if (f.dirichlet[iy * f.nx + ix]) c.dirichlet[(iy / 2) * c.nx + ix / 2] = 1;
+      }
+    }
+    c.free_count = 0;
+    for (const auto d : c.dirichlet) c.free_count += d ? 0u : 1u;
+    levels_.push_back(std::move(c));
+  }
+
+  // Coarsest-level unknown numbering (for the dense factorization).
+  const Level& last = levels_.back();
+  coarse_free_index_.assign(last.nx * last.ny, -1);
+  for (std::size_t i = 0; i < last.dirichlet.size(); ++i) {
+    if (!last.dirichlet[i]) {
+      coarse_free_index_[i] = static_cast<std::int64_t>(coarse_free_cells_.size());
+      coarse_free_cells_.push_back(i);
+    }
+  }
+
+  update_coefficients(eps);
+}
+
+void Multigrid::update_coefficients(const std::vector<Complex>& eps) {
+  if (eps.size() != levels_.front().nx * levels_.front().ny) {
+    throw std::invalid_argument("Multigrid::update_coefficients: eps size mismatch");
+  }
+  levels_.front().eps = eps;
+  rebuild_level_coefficients(levels_.front());
+  for (std::size_t l = 1; l < levels_.size(); ++l) {
+    coarsen_eps(levels_[l - 1], levels_[l]);
+    rebuild_level_coefficients(levels_[l]);
+  }
+  factor_coarsest();
+}
+
+void Multigrid::coarsen_eps(const Level& fine, Level& coarse) const {
+  coarse.eps.assign(coarse.nx * coarse.ny, Complex{});
+  std::vector<int> count(coarse.nx * coarse.ny, 0);
+  for (std::size_t iy = 0; iy < fine.ny; ++iy) {
+    for (std::size_t ix = 0; ix < fine.nx; ++ix) {
+      const std::size_t c = (iy / 2) * coarse.nx + ix / 2;
+      coarse.eps[c] += fine.eps[iy * fine.nx + ix];
+      ++count[c];
+    }
+  }
+  for (std::size_t c = 0; c < coarse.eps.size(); ++c) {
+    coarse.eps[c] /= static_cast<double>(count[c]);
+  }
+}
+
+void Multigrid::rebuild_level_coefficients(Level& lv) {
+  const std::size_t nx = lv.nx;
+  const std::size_t ny = lv.ny;
+  const std::size_t n = nx * ny;
+  lv.w_east.assign(n, Complex{});
+  lv.w_north.assign(n, Complex{});
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t i = iy * nx + ix;
+      if (ix + 1 < nx) lv.w_east[i] = harmonic_mean(lv.eps[i], lv.eps[i + 1]);
+      if (iy + 1 < ny) lv.w_north[i] = harmonic_mean(lv.eps[i], lv.eps[i + nx]);
+    }
+  }
+  lv.diag.assign(n, Complex{});
+  lv.inv_diag.assign(n, Complex{});
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t i = iy * nx + ix;
+      if (lv.dirichlet[i]) continue;
+      Complex d{};
+      if (ix + 1 < nx) d += lv.w_east[i];
+      if (ix > 0) d += lv.w_east[i - 1];
+      if (iy + 1 < ny) d += lv.w_north[i];
+      if (iy > 0) d += lv.w_north[i - nx];
+      // Domain boundary: Dirichlet 0 with the cell's own permittivity, the
+      // same convention as FieldProblem::apply.
+      if (ix == 0 || ix + 1 == nx) d += lv.eps[i];
+      if (iy == 0 || iy + 1 == ny) d += lv.eps[i];
+      lv.diag[i] = d;
+      lv.inv_diag[i] = std::abs(d) > 0.0 ? 1.0 / d : Complex{};
+    }
+  }
+}
+
+void Multigrid::factor_coarsest() {
+  const std::size_t n = coarse_free_cells_.size();
+  if (n == 0 || n > kMaxDenseUnknowns) {
+    lu_.clear();
+    pivot_.clear();
+    return;
+  }
+  const Level& lv = levels_.back();
+  const std::size_t nx = lv.nx;
+  lu_.assign(n * n, Complex{});
+  for (std::size_t row = 0; row < n; ++row) {
+    const std::size_t i = coarse_free_cells_[row];
+    const std::size_t ix = i % nx;
+    const std::size_t iy = i / nx;
+    lu_[row * n + row] = lv.diag[i];
+    auto couple = [&](std::size_t j, Complex w) {
+      const std::int64_t col = coarse_free_index_[j];
+      if (col >= 0) lu_[row * n + static_cast<std::size_t>(col)] -= w;
+    };
+    if (ix + 1 < nx) couple(i + 1, lv.w_east[i]);
+    if (ix > 0) couple(i - 1, lv.w_east[i - 1]);
+    if (iy + 1 < lv.ny) couple(i + nx, lv.w_north[i]);
+    if (iy > 0) couple(i - nx, lv.w_north[i - nx]);
+  }
+  // In-place LU with partial pivoting.
+  pivot_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t best = k;
+    double best_mag = std::abs(lu_[k * n + k]);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_[r * n + k]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = r;
+      }
+    }
+    pivot_[k] = static_cast<int>(best);
+    if (best != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_[k * n + c], lu_[best * n + c]);
+    }
+    const Complex pv = lu_[k * n + k];
+    if (std::abs(pv) == 0.0) continue;  // singular row: leave zero, solve skips it
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex m = lu_[r * n + k] / pv;
+      lu_[r * n + k] = m;
+      if (std::abs(m) == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_[r * n + c] -= m * lu_[k * n + c];
+    }
+  }
+}
+
+Multigrid::Workspace Multigrid::make_workspace() const {
+  Workspace ws;
+  ws.x.resize(levels_.size());
+  ws.r.resize(levels_.size());
+  ws.scratch.resize(levels_.size());
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::size_t n = levels_[l].nx * levels_[l].ny;
+    ws.x[l].assign(n, Complex{});
+    ws.r[l].assign(n, Complex{});
+    ws.scratch[l].assign(n, Complex{});
+  }
+  return ws;
+}
+
+void Multigrid::residual(const Level& lv, const std::vector<Complex>& rhs,
+                         const std::vector<Complex>& x, std::vector<Complex>& out) const {
+  const std::size_t nx = lv.nx;
+  const std::size_t ny = lv.ny;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t i = iy * nx + ix;
+      if (lv.dirichlet[i]) {
+        out[i] = Complex{};
+        continue;
+      }
+      Complex off{};
+      auto face = [&](std::size_t j, Complex w) {
+        if (!lv.dirichlet[j]) off += w * x[j];
+      };
+      if (ix + 1 < nx) face(i + 1, lv.w_east[i]);
+      if (ix > 0) face(i - 1, lv.w_east[i - 1]);
+      if (iy + 1 < ny) face(i + nx, lv.w_north[i]);
+      if (iy > 0) face(i - nx, lv.w_north[i - nx]);
+      out[i] = rhs[i] - (lv.diag[i] * x[i] - off);
+    }
+  }
+}
+
+void Multigrid::smooth(const Level& lv, const std::vector<Complex>& rhs, std::vector<Complex>& x,
+                       std::vector<Complex>& scratch, int sweeps) const {
+  const std::size_t nx = lv.nx;
+  const std::size_t ny = lv.ny;
+  if (opts_.smoother == MultigridOptions::Smoother::damped_jacobi) {
+    for (int s = 0; s < sweeps; ++s) {
+      residual(lv, rhs, x, scratch);
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (!lv.dirichlet[i]) x[i] += opts_.jacobi_damping * lv.inv_diag[i] * scratch[i];
+      }
+    }
+    return;
+  }
+  // Red-black Gauss-Seidel: fixed (color, row-major) sweep order makes the
+  // smoother a deterministic linear operator regardless of thread count.
+  for (int s = 0; s < sweeps; ++s) {
+    for (int color = 0; color < 2; ++color) {
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        const std::size_t ix0 = (static_cast<std::size_t>(color) + iy) % 2;
+        for (std::size_t ix = ix0; ix < nx; ix += 2) {
+          const std::size_t i = iy * nx + ix;
+          if (lv.dirichlet[i]) continue;
+          Complex off{};
+          auto face = [&](std::size_t j, Complex w) {
+            if (!lv.dirichlet[j]) off += w * x[j];
+          };
+          if (ix + 1 < nx) face(i + 1, lv.w_east[i]);
+          if (ix > 0) face(i - 1, lv.w_east[i - 1]);
+          if (iy + 1 < ny) face(i + nx, lv.w_north[i]);
+          if (iy > 0) face(i - nx, lv.w_north[i - nx]);
+          x[i] = lv.inv_diag[i] * (rhs[i] + off);
+        }
+      }
+    }
+  }
+}
+
+void Multigrid::solve_coarsest(const std::vector<Complex>& rhs, std::vector<Complex>& x,
+                               std::vector<Complex>& scratch) const {
+  const Level& lv = levels_.back();
+  if (lu_.empty()) {
+    // No factorization (degenerately large coarsest level): smooth hard.
+    for (auto& v : x) v = Complex{};
+    smooth(lv, rhs, x, scratch, opts_.pre_smooth + opts_.post_smooth + 4);
+    return;
+  }
+  const std::size_t n = coarse_free_cells_.size();
+  // Gather, permuted forward substitution, back substitution, scatter.
+  std::vector<Complex>& y = scratch;  // reuse as the packed solve vector
+  for (std::size_t row = 0; row < n; ++row) y[row] = rhs[coarse_free_cells_[row]];
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t p = static_cast<std::size_t>(pivot_[k]);
+    if (p != k) std::swap(y[k], y[p]);
+    for (std::size_t r = k + 1; r < n; ++r) y[r] -= lu_[r * n + k] * y[k];
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t c = k + 1; c < n; ++c) y[k] -= lu_[k * n + c] * y[c];
+    const Complex d = lu_[k * n + k];
+    y[k] = std::abs(d) > 0.0 ? y[k] / d : Complex{};
+  }
+  for (auto& v : x) v = Complex{};
+  for (std::size_t row = 0; row < n; ++row) x[coarse_free_cells_[row]] = y[row];
+}
+
+void Multigrid::v_cycle(const std::vector<Complex>& r, std::vector<Complex>& z,
+                        Workspace& ws) const {
+  const std::size_t depth = levels_.size();
+  ws.r[0] = r;
+  for (std::size_t l = 0; l < depth; ++l) {
+    const Level& lv = levels_[l];
+    if (l + 1 == depth) {
+      solve_coarsest(ws.r[l], ws.x[l], ws.scratch[l]);
+      break;
+    }
+    for (auto& v : ws.x[l]) v = Complex{};
+    smooth(lv, ws.r[l], ws.x[l], ws.scratch[l], opts_.pre_smooth);
+    residual(lv, ws.r[l], ws.x[l], ws.scratch[l]);
+    // Restrict: sum the residual over free fine children (adjoint of the
+    // piecewise-constant prolongation below).
+    const Level& cv = levels_[l + 1];
+    std::vector<Complex>& rc = ws.r[l + 1];
+    for (auto& v : rc) v = Complex{};
+    for (std::size_t iy = 0; iy < lv.ny; ++iy) {
+      for (std::size_t ix = 0; ix < lv.nx; ++ix) {
+        const std::size_t i = iy * lv.nx + ix;
+        if (!lv.dirichlet[i]) rc[(iy / 2) * cv.nx + ix / 2] += ws.scratch[l][i];
+      }
+    }
+    for (std::size_t c = 0; c < rc.size(); ++c) {
+      if (cv.dirichlet[c]) rc[c] = Complex{};
+    }
+  }
+  // Ascend: prolong the coarse correction and post-smooth.
+  for (std::size_t l = depth - 1; l-- > 0;) {
+    const Level& lv = levels_[l];
+    const Level& cv = levels_[l + 1];
+    for (std::size_t iy = 0; iy < lv.ny; ++iy) {
+      for (std::size_t ix = 0; ix < lv.nx; ++ix) {
+        const std::size_t i = iy * lv.nx + ix;
+        if (!lv.dirichlet[i]) ws.x[l][i] += ws.x[l + 1][(iy / 2) * cv.nx + ix / 2];
+      }
+    }
+    smooth(lv, ws.r[l], ws.x[l], ws.scratch[l], opts_.post_smooth);
+  }
+  z = ws.x[0];
+}
+
+}  // namespace tsvcod::field

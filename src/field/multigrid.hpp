@@ -1,0 +1,111 @@
+#pragma once
+// Geometric multigrid V-cycle for the variable-coefficient complex Laplace
+// problem on a uniform Grid, used as a preconditioner around BiCGStab
+// (see solver.hpp).
+//
+// The hierarchy coarsens the *cell* grid 2x per level (ceil division, so odd
+// sizes are handled). A coarse cell is Dirichlet if any of its fine children
+// is Dirichlet — conductors never shrink under coarsening, which keeps the
+// coarse problems well-posed. Coefficients restrict by averaging the child
+// permittivities; coarse face weights are then rebuilt as harmonic means of
+// the coarse cell permittivities, exactly the fine-level finite-volume
+// discretization (the dimensionless 5-point operator is h-free in 2-D, so no
+// extra scaling enters). Residuals restrict by summing over free children
+// (the adjoint of piecewise-constant prolongation, which also carries the
+// h^2 factor between rediscretized levels).
+//
+// Smoothing is red-black Gauss-Seidel (deterministic fixed sweep order) or
+// damped Jacobi; the coarsest level is a dense complex LU solve. With a zero
+// initial guess per level the V-cycle is one fixed linear operator, which
+// preconditioned BiCGStab requires.
+//
+// Thread-safety: `v_cycle` is const and re-entrant given a caller-owned
+// Workspace, so the per-conductor extraction solves can run concurrently on
+// one shared hierarchy.
+
+#include <cstdint>
+#include <vector>
+
+#include "field/grid.hpp"
+
+namespace tsvcod::field {
+
+struct MultigridOptions {
+  enum class Smoother : std::uint8_t { red_black_gs, damped_jacobi };
+  int pre_smooth = 1;               ///< smoothing sweeps before coarse correction
+  int post_smooth = 1;              ///< smoothing sweeps after coarse correction
+  int max_levels = 24;              ///< hierarchy depth cap
+  std::size_t coarsest_unknowns = 256;  ///< stop coarsening at/below this many free cells
+  Smoother smoother = Smoother::red_black_gs;
+  double jacobi_damping = 0.7;      ///< only for Smoother::damped_jacobi
+};
+
+class Multigrid {
+ public:
+  /// True when a hierarchy is worth building for a fine grid of `nx` x `ny`
+  /// cells with `free_count` non-Dirichlet cells; callers fall back to plain
+  /// Jacobi preconditioning otherwise.
+  static bool viable(std::size_t nx, std::size_t ny, std::size_t free_count,
+                     const MultigridOptions& opts);
+
+  /// Build the hierarchy from the fine level: `dirichlet[i] != 0` marks
+  /// pinned cells (conductors; the outer boundary is handled by the operator
+  /// itself), `eps` the complex cell permittivities.
+  Multigrid(std::size_t nx, std::size_t ny, const std::vector<std::uint8_t>& dirichlet,
+            const std::vector<Complex>& eps, const MultigridOptions& opts);
+
+  /// Recompute every level's coefficients (and the coarse factorization) for
+  /// new fine-level permittivities. The Dirichlet structure must be the one
+  /// the hierarchy was built with — extraction reuse repaints dielectrics
+  /// only, never conductors.
+  void update_coefficients(const std::vector<Complex>& eps);
+
+  /// Per-solve scratch vectors (one correction/residual/rhs triple per
+  /// level). Create one per concurrent solve; reuse across V-cycles.
+  struct Workspace {
+    std::vector<std::vector<Complex>> x, r, scratch;
+  };
+  Workspace make_workspace() const;
+
+  /// z ~= A^-1 r for the homogeneous-Dirichlet fine problem: one V-cycle
+  /// from a zero initial guess. `r` and `z` are full-grid (nx*ny) vectors;
+  /// Dirichlet entries of `r` are ignored and come back zero in `z`.
+  void v_cycle(const std::vector<Complex>& r, std::vector<Complex>& z, Workspace& ws) const;
+
+  std::size_t levels() const { return levels_.size(); }
+  std::size_t coarsest_free_count() const { return levels_.back().free_count; }
+
+ private:
+  struct Level {
+    std::size_t nx = 0, ny = 0;
+    std::vector<std::uint8_t> dirichlet;
+    std::vector<Complex> eps;      // cell coefficients (source for the next level)
+    std::vector<Complex> w_east;   // harmonic-mean face weights
+    std::vector<Complex> w_north;
+    std::vector<Complex> diag;     // assembled operator diagonal (free cells)
+    std::vector<Complex> inv_diag;
+    std::size_t free_count = 0;
+  };
+
+  void rebuild_level_coefficients(Level& lv);
+  void coarsen_eps(const Level& fine, Level& coarse) const;
+  void factor_coarsest();
+  void smooth(const Level& lv, const std::vector<Complex>& rhs, std::vector<Complex>& x,
+              std::vector<Complex>& scratch, int sweeps) const;
+  void residual(const Level& lv, const std::vector<Complex>& rhs,
+                const std::vector<Complex>& x, std::vector<Complex>& out) const;
+  void solve_coarsest(const std::vector<Complex>& rhs, std::vector<Complex>& x,
+                      std::vector<Complex>& scratch) const;
+
+  MultigridOptions opts_;
+  std::vector<Level> levels_;
+  // Dense LU (partial pivoting) of the coarsest-level operator over its free
+  // cells, row-major n x n; empty when the coarsest level is still too large
+  // and is smoothed instead (degenerate geometries only).
+  std::vector<Complex> lu_;
+  std::vector<int> pivot_;
+  std::vector<std::size_t> coarse_free_cells_;   // cell index per unknown
+  std::vector<std::int64_t> coarse_free_index_;  // cell -> unknown (-1 = Dirichlet)
+};
+
+}  // namespace tsvcod::field

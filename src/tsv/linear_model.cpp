@@ -61,9 +61,12 @@ LinearCapacitanceModel fit_from_analytic(const phys::TsvArrayGeometry& geom,
 
 LinearCapacitanceModel fit_from_field(const phys::TsvArrayGeometry& geom,
                                       const field::ExtractionOptions& opts) {
+  // One extractor for both fit points: the second extraction reuses the
+  // rasterized grid / field-problem setup and warm-starts every conductor's
+  // solve from the first point's potentials.
+  field::CapacitanceExtractor extractor(geom, opts);
   return fit_linear_model(
-      [&](std::span<const double> pr) { return field::extract_capacitance(geom, pr, opts).paper; },
-      geom.count());
+      [&](std::span<const double> pr) { return extractor.extract(pr).paper; }, geom.count());
 }
 
 double linearity_nrmse(const CapacitanceBackend& backend, const LinearCapacitanceModel& model,

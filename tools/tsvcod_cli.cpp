@@ -95,6 +95,14 @@ tsv::LinearCapacitanceModel model_from(const Args& args) {
   return tsv::fit_from_analytic(geometry_from(args));
 }
 
+field::Preconditioner preconditioner_from(const Args& args) {
+  const std::string name = args.str_or("preconditioner", "");
+  if (name.empty()) return field::default_preconditioner();
+  if (name == "jacobi") return field::Preconditioner::jacobi;
+  if (name == "multigrid" || name == "mg") return field::Preconditioner::multigrid;
+  throw std::runtime_error("unknown --preconditioner (use jacobi|multigrid)");
+}
+
 int cmd_extract(const Args& args) {
   const auto geom = geometry_from(args);
   tsv::LinearCapacitanceModel model;
@@ -103,8 +111,11 @@ int cmd_extract(const Args& args) {
     field::ExtractionOptions fo;
     fo.cell = args.number_or("cell-um", 0.125) * 1e-6;
     fo.threads = static_cast<int>(args.size_or("threads", 0));
-    std::printf("running field extraction (%zux%zu, cell %.3f um)...\n", geom.rows, geom.cols,
-                fo.cell * 1e6);
+    fo.solver.preconditioner = preconditioner_from(args);
+    std::printf("running field extraction (%zux%zu, cell %.3f um, %s preconditioner)...\n",
+                geom.rows, geom.cols, fo.cell * 1e6,
+                fo.solver.preconditioner == field::Preconditioner::multigrid ? "multigrid"
+                                                                            : "jacobi");
     model = tsv::fit_from_field(geom, fo);
   } else if (backend == "analytic") {
     model = tsv::fit_from_analytic(geom);
@@ -200,6 +211,7 @@ int cmd_fieldmap(const Args& args) {
   const std::vector<double> pr(geom.count(), args.number_or("probability", 0.5));
   field::ExtractionOptions fo;
   fo.cell = args.number_or("cell-um", 0.1) * 1e-6;
+  fo.solver.preconditioner = preconditioner_from(args);
   const auto grid = field::build_array_grid(geom, pr, fo);
   const std::string prefix = args.str("out");
 
@@ -238,6 +250,8 @@ void usage() {
       "common flags : --rows N --cols N --radius-um R --pitch-um D [--length-um L]\n"
       "               [--threads N]  (0/unset: TSVCOD_THREADS env, else serial;\n"
       "                results are identical at every thread count)\n"
+      "               [--preconditioner jacobi|multigrid]  (field solves; default\n"
+      "                multigrid, or the TSVCOD_PRECONDITIONER env override)\n"
       "extract      : [--backend analytic|field] [--cell-um C] --out FILE\n"
       "optimize     : [--model FILE] --trace FILE [--no-invert i,j] [--iterations N]\n"
       "               [--seed S] [--out FILE]\n"
