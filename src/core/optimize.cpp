@@ -1,6 +1,7 @@
 #include "core/optimize.hpp"
 
 #include "core/evaluator.hpp"
+#include "obs/obs.hpp"
 #include "opt/parallel.hpp"
 
 #include <algorithm>
@@ -25,6 +26,8 @@ struct ChainOutcome {
   SignedPermutation assignment{1};
   double power = 0.0;  ///< exact (recomputed) power of `assignment`
   std::size_t evaluations = 0;
+  std::size_t accepted = 0;   ///< accepted annealing moves
+  std::size_t attempted = 0;  ///< attempted annealing moves (excl. probes)
 };
 
 // One annealing chain on the incremental evaluator: moves are self-inverse
@@ -34,7 +37,16 @@ struct ChainOutcome {
 // rejected move restores state it has already paid for and is not counted.
 ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
                        const tsv::LinearCapacitanceModel& model, const OptimizeOptions& options,
-                       const std::vector<std::size_t>& invertible_bits, std::uint64_t seed) {
+                       const std::vector<std::size_t>& invertible_bits, std::uint64_t seed,
+                       std::size_t chain_index) {
+  obs::Span span("opt.chain");
+  const bool tracing = span.active();
+  // Per-chain counter-track names keep concurrent chains on separate tracks.
+  std::string track_power, track_temp;
+  if (tracing) {
+    track_power = "opt.best_power.c" + std::to_string(chain_index);
+    track_temp = "opt.temperature.c" + std::to_string(chain_index);
+  }
   const std::size_t n = bit_stats.width;
   const bool any_invertible = !invertible_bits.empty();
 
@@ -86,6 +98,10 @@ ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
 
   SignedPermutation best = ev.assignment();
   double best_power = ev.power();
+  std::size_t accepted = 0;
+  std::size_t attempted = 0;
+  // Trace sampling stride: ~64 samples per restart keeps traces compact.
+  const int stride = std::max(1, options.schedule.iterations / 64);
   for (int restart = 0; restart < options.schedule.restarts; ++restart) {
     // Resync from the best state (also clears float drift of the deltas).
     ev.reset(best);
@@ -95,9 +111,11 @@ ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
       const Move m = random_move();
       const double cand = apply(m);
       ++evaluations;
+      ++attempted;
       const double d = cand - current;
       if (d <= 0.0 || uni(rng) < std::exp(-d / t)) {
         current = cand;
+        ++accepted;
         if (current < best_power) {
           best_power = current;
           best = ev.assignment();
@@ -105,13 +123,23 @@ ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
       } else {
         apply(m);  // reject: undo
       }
+      if (tracing && it % stride == 0) {
+        obs::counter(track_power, best_power);
+        obs::counter(track_temp, t);
+      }
     }
+  }
+  if (tracing) {
+    span.set_args("\"chain\":" + std::to_string(chain_index) +
+                  ",\"evaluations\":" + std::to_string(evaluations) +
+                  ",\"accepted\":" + std::to_string(accepted) +
+                  ",\"best_power\":" + obs::json_number(best_power));
   }
   // Exact final power (the incremental value only drifts at float epsilon);
   // chains are compared on this exact value so the best-of reduction is
   // independent of per-chain accumulation order.
   const double exact = assignment_power(bit_stats, best, model);
-  return {std::move(best), exact, evaluations};
+  return {std::move(best), exact, evaluations, accepted, attempted};
 }
 
 }  // namespace
@@ -130,21 +158,45 @@ OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
 
   // Independent chains, each seeded from its logical index; scheduling can
   // never leak into the result.
+  obs::Span span("opt.optimize");
   const std::size_t chains = static_cast<std::size_t>(std::max(1, options.chains));
   std::vector<ChainOutcome> outcomes(chains);
   opt::parallel_for(chains, options.threads, [&](std::size_t c) {
-    outcomes[c] =
-        run_chain(bit_stats, model, options, invertible_bits,
-                  opt::deterministic_seed(options.seed, c));
+    outcomes[c] = run_chain(bit_stats, model, options, invertible_bits,
+                            opt::deterministic_seed(options.seed, c), c);
   });
 
   // Deterministic best-of reduction: strict < keeps the lowest chain index
-  // on ties.
+  // on ties. Metrics are recorded from this loop — logical chain order on
+  // one thread — so the metrics document is thread-count invariant.
+  const bool metrics = obs::metrics_enabled();
   std::size_t best_chain = 0;
   std::size_t evaluations = 0;
   for (std::size_t c = 0; c < chains; ++c) {
     evaluations += outcomes[c].evaluations;
     if (outcomes[c].power < outcomes[best_chain].power) best_chain = c;
+    if (metrics) {
+      const std::string prefix = "opt.chain" + std::to_string(c);
+      const auto& o = outcomes[c];
+      obs::metric_set(prefix + ".acceptance_rate",
+                      o.attempted > 0
+                          ? static_cast<double>(o.accepted) / static_cast<double>(o.attempted)
+                          : 0.0);
+      obs::metric_set(prefix + ".best_power", o.power);
+    }
+  }
+  if (metrics) {
+    obs::metric_add("opt.optimize.count");
+    obs::metric_add("opt.chains_total", chains);
+    obs::metric_add("opt.evaluations_total", evaluations);
+    obs::metric_set("opt.best_power", outcomes[best_chain].power);
+    obs::metric_set("opt.best_chain", static_cast<double>(best_chain));
+  }
+  if (span.active()) {
+    span.set_args("\"chains\":" + std::to_string(chains) +
+                  ",\"evaluations\":" + std::to_string(evaluations) +
+                  ",\"best_chain\":" + std::to_string(best_chain) +
+                  ",\"best_power\":" + obs::json_number(outcomes[best_chain].power));
   }
   return {std::move(outcomes[best_chain].assignment), outcomes[best_chain].power, evaluations};
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "opt/parallel.hpp"
 #include "phys/constants.hpp"
 #include "phys/depletion.hpp"
@@ -130,7 +131,12 @@ CapacitanceExtractor::CapacitanceExtractor(const phys::TsvArrayGeometry& geom,
 
 void CapacitanceExtractor::repaint(std::span<const double> probabilities) {
   auto widths = depletion_widths(geom_, probabilities);
-  if (problem_ && widths == last_widths_) return;  // identical rasterization
+  if (problem_ && widths == last_widths_) {
+    // Identical rasterization: the cached grid/problem is reused as-is.
+    obs::metric_add("field.extract.repaint_skipped");
+    return;
+  }
+  obs::Span span(problem_ ? "field.extract.repaint" : "field.extract.setup");
   paint_array(grid_, geom_, widths, opts_, resolved_margin(geom_, opts_));
   last_widths_ = std::move(widths);
   if (!problem_) {
@@ -139,15 +145,21 @@ void CapacitanceExtractor::repaint(std::span<const double> probabilities) {
     // Conductor layout is probability-independent: only dielectric annuli
     // moved, so the cached indexing/hierarchy stays and coefficients refresh.
     problem_->update_coefficients();
+    obs::metric_add("field.extract.reuse_repaints");
   }
 }
 
 CapacitanceResult CapacitanceExtractor::extract(std::span<const double> probabilities) {
+  obs::Span span("field.extract");
   validate_probabilities(geom_, probabilities);
   repaint(probabilities);
 
   const std::size_t n = geom_.count();
   if (last_phi_.empty()) last_phi_.resize(n);
+  std::size_t warm = 0;
+  for (const auto& phi : last_phi_) {
+    if (!phi.empty()) ++warm;
+  }
 
   phys::Matrix q_re(n, n);
   CapacitanceResult out;
@@ -164,7 +176,24 @@ CapacitanceResult CapacitanceExtractor::extract(std::span<const double> probabil
     for (std::size_t m = 0; m < n; ++m) q_re(m, k) = q[m].real();
     last_phi_[k] = std::move(phi);
   });
-  for (const auto& s : out.stats) total_iterations_ += s.iterations;
+  long long point_iterations = 0;
+  for (const auto& s : out.stats) point_iterations += s.iterations;
+  total_iterations_ += point_iterations;
+
+  // Recorded from this serial section (logical order), never from workers.
+  if (obs::metrics_enabled()) {
+    obs::metric_add("field.extract.count");
+    obs::metric_add("field.extract.solves", n);
+    obs::metric_add("field.extract.warm_started_solves", warm);
+    obs::metric_add("field.extract.iterations_total",
+                    static_cast<std::uint64_t>(point_iterations));
+    obs::metric_set("field.extract.last_point_iterations",
+                    static_cast<double>(point_iterations));
+  }
+  if (span.active()) {
+    span.set_args("\"conductors\":" + std::to_string(n) + ",\"warm_started\":" +
+                  std::to_string(warm) + ",\"iterations\":" + std::to_string(point_iterations));
+  }
 
   if (!opts_.allow_nonconverged && !out.all_converged()) throw_if_nonconverged(out);
 

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "phys/constants.hpp"
 
 namespace tsvcod::field {
@@ -133,6 +135,10 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
 
 std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOptions& opts,
                                          std::span<const Complex> phi0, SolveStats* stats) const {
+  obs::Span span("field.solve");
+  const bool tracing = span.active();
+  std::vector<double> residual_history;  // per-iteration, trace-only
+  long long vcycles = 0;
   const std::size_t nu = free_cells_.size();
   const std::size_t nx = grid_.nx();
   const std::size_t ny = grid_.ny();
@@ -202,6 +208,7 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
         for (std::size_t u = 0; u < nu; ++u) z[u] = y[u] / diag[u];
         return;
       }
+      ++vcycles;
       for (std::size_t u = 0; u < nu; ++u) full_r[free_cells_[u]] = y[u];
       mg->v_cycle(full_r, full_z, ws);
       for (std::size_t u = 0; u < nu; ++u) z[u] = full_z[free_cells_[u]];
@@ -264,6 +271,7 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
           if (norm2(s) / bnorm < opts.tolerance) {
             for (std::size_t u = 0; u < nu; ++u) x[u] += alpha * p[u];
             res = norm2(s) / bnorm;
+            if (tracing) residual_history.push_back(res);
             ++it;
             break;
           }
@@ -276,6 +284,7 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
             r[u] = s[u] - omega * t[u];
           }
           res = norm2(r) / bnorm;
+          if (tracing) residual_history.push_back(res);
           if (res < opts.tolerance) {
             ++it;
             break;
@@ -284,13 +293,48 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
       }
     }
   }
+  const bool converged = trivial || (std::isfinite(res) && res < opts.tolerance);
   if (stats) {
     stats->iterations = it;
     stats->residual = res;
     stats->trivial = trivial;
     stats->preconditioner = pc;
     // isfinite: a residual poisoned by overflow must never count as converged.
-    stats->converged = trivial || (std::isfinite(res) && res < opts.tolerance);
+    stats->converged = converged;
+  }
+  const char* pc_name = pc == Preconditioner::multigrid ? "multigrid" : "jacobi";
+  if (obs::metrics_enabled()) {
+    obs::metric_add("field.solve.count");
+    obs::metric_add("field.solve.iterations_total", static_cast<std::uint64_t>(it));
+    obs::metric_add(pc == Preconditioner::multigrid ? "field.solve.preconditioner.multigrid"
+                                                    : "field.solve.preconditioner.jacobi");
+    if (vcycles > 0) obs::metric_add("field.solve.vcycles_total", static_cast<std::uint64_t>(vcycles));
+    if (trivial) obs::metric_add("field.solve.trivial_count");
+    if (!converged) obs::metric_add("field.solve.nonconverged_count");
+    if (!phi0.empty()) obs::metric_add("field.solve.warm_started_count");
+    static constexpr double kIterBounds[] = {0,  1,   2,   4,   8,    16,   32,
+                                             64, 128, 256, 512, 1024, 4096, 16384};
+    obs::metric_observe("field.solve.iterations", static_cast<double>(it), kIterBounds);
+  }
+  if (tracing) {
+    std::string args = "\"active\":" + std::to_string(active) +
+                       ",\"unknowns\":" + std::to_string(nu) +
+                       ",\"iterations\":" + std::to_string(it) +
+                       ",\"residual\":" + obs::json_number(res) + ",\"preconditioner\":\"" +
+                       pc_name + "\",\"vcycles\":" + std::to_string(vcycles) +
+                       ",\"trivial\":" + (trivial ? "true" : "false") +
+                       ",\"warm_start\":" + (phi0.empty() ? "false" : "true");
+    if (!residual_history.empty()) {
+      // Cap the per-iteration history so giant solves stay viewer-friendly.
+      const std::size_t stride = (residual_history.size() + 255) / 256;
+      args += ",\"residual_history\":[";
+      for (std::size_t i = 0; i < residual_history.size(); i += stride) {
+        if (i) args += ',';
+        args += obs::json_number(residual_history[i]);
+      }
+      args += ']';
+    }
+    span.set_args(std::move(args));
   }
 
   // Scatter to the full grid, Dirichlet values included.

@@ -1,6 +1,10 @@
 #include "noc/simulator.hpp"
 
+#include <bit>
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace tsvcod::noc {
 
@@ -11,6 +15,10 @@ NocSimulator::NocSimulator(const Mesh3D& mesh, const TrafficConfig& traffic)
       flit_width_(traffic.flit_width) {
   routers_.reserve(mesh.node_count());
   for (std::size_t i = 0; i < mesh.node_count(); ++i) routers_.emplace_back(mesh.node(i));
+  const std::size_t links = mesh.node_count() * static_cast<std::size_t>(kPortCount);
+  link_flits_.assign(links, 0);
+  link_toggles_.assign(links, 0);
+  link_last_word_.assign(links, 0);
 }
 
 void NocSimulator::probe_link(LinkId link) {
@@ -21,9 +29,16 @@ void NocSimulator::probe_link(LinkId link) {
   probe_ = link;
   trace_.clear();
   held_word_ = 0;
+  probe_toggles_ = 0;
+  probe_last_lines_ = 0;
 }
 
 SimStats NocSimulator::run(std::size_t cycles) {
+  obs::Span span("noc.run");
+  const std::size_t injected_before = injected_;
+  const std::size_t delivered_before = delivered_;
+  const std::uint64_t probe_toggles_before = probe_toggles_;
+  std::uint64_t hops = 0;
   std::array<std::optional<Flit>, kPortCount> granted;
   for (std::size_t c = 0; c < cycles; ++c, ++cycle_) {
     // Injection.
@@ -58,6 +73,13 @@ SimStats NocSimulator::run(std::size_t cycles) {
           probe_saw_flit = true;
           probe_word = flit->payload & streams::width_mask(flit_width_);
         }
+        const std::size_t link = i * static_cast<std::size_t>(kPortCount) +
+                                 static_cast<std::size_t>(port);
+        const std::uint64_t word = flit->payload & streams::width_mask(flit_width_);
+        ++link_flits_[link];
+        link_toggles_[link] += std::popcount(link_last_word_[link] ^ word);
+        link_last_word_[link] = word;
+        ++hops;
         const auto to = mesh_.neighbor(from, dir);
         // arbitrate() only routes toward existing neighbours (XYZ routing
         // never points off-mesh), so `to` is always valid here.
@@ -72,6 +94,8 @@ SimStats NocSimulator::run(std::size_t cycles) {
       } else {
         trace_.push_back(held_word_);  // data lines hold, valid line low
       }
+      probe_toggles_ += std::popcount(probe_last_lines_ ^ trace_.back());
+      probe_last_lines_ = trace_.back();
     }
     for (const auto& r : routers_) max_queued_ = std::max(max_queued_, r.queued());
   }
@@ -82,6 +106,30 @@ SimStats NocSimulator::run(std::size_t cycles) {
   s.mean_latency = delivered_ > 0 ? latency_sum_ / static_cast<double>(delivered_) : 0.0;
   s.max_queued = max_queued_;
   s.probe_busy_cycles = probe_busy_;
+  s.link_flits = link_flits_;
+  s.link_toggles = link_toggles_;
+  s.probe_toggled_bits = probe_toggles_;
+
+  // The simulator is single-threaded, so these are deterministic by
+  // construction (run-sequence order).
+  if (obs::metrics_enabled()) {
+    obs::metric_add("noc.run.count");
+    obs::metric_add("noc.cycles_total", cycles);
+    obs::metric_add("noc.flits.injected_total", injected_ - injected_before);
+    obs::metric_add("noc.flits.delivered_total", delivered_ - delivered_before);
+    obs::metric_add("noc.flit_hops_total", hops);
+    if (probing_) {
+      obs::metric_add("noc.probe.toggled_bits_total", probe_toggles_ - probe_toggles_before);
+    }
+    obs::metric_set("noc.mean_latency", s.mean_latency);
+    obs::metric_set("noc.max_queued", static_cast<double>(max_queued_));
+  }
+  if (span.active()) {
+    span.set_args("\"cycles\":" + std::to_string(cycles) +
+                  ",\"injected\":" + std::to_string(injected_ - injected_before) +
+                  ",\"delivered\":" + std::to_string(delivered_ - delivered_before) +
+                  ",\"flit_hops\":" + std::to_string(hops));
+  }
   return s;
 }
 

@@ -23,6 +23,15 @@ struct SimStats {
   double mean_latency = 0.0;       ///< cycles, delivered flits
   std::size_t max_queued = 0;      ///< worst router occupancy seen
   std::size_t probe_busy_cycles = 0;  ///< cycles the probed link carried a flit
+  /// Flits transferred per inter-router link, indexed node*kPortCount+port
+  /// (Local ports stay zero). Cumulative across run() calls.
+  std::vector<std::uint64_t> link_flits;
+  /// Payload bit toggles per link (hamming distance between consecutive
+  /// transferred flits; the data lines latch, so idle cycles add nothing).
+  std::vector<std::uint64_t> link_toggles;
+  /// Bit toggles on the probed link's physical lines (payload + valid), i.e.
+  /// the switching activity the bit-to-TSV optimizer prices.
+  std::uint64_t probe_toggled_bits = 0;
 };
 
 class NocSimulator {
@@ -57,6 +66,13 @@ class NocSimulator {
   double latency_sum_ = 0.0;
   std::size_t max_queued_ = 0;
   std::size_t probe_busy_ = 0;
+
+  // Per-link activity, indexed node*kPortCount+port (see SimStats).
+  std::vector<std::uint64_t> link_flits_;
+  std::vector<std::uint64_t> link_toggles_;
+  std::vector<std::uint64_t> link_last_word_;
+  std::uint64_t probe_toggles_ = 0;
+  std::uint64_t probe_last_lines_ = 0;  ///< previous cycle's probe word incl. valid
 };
 
 }  // namespace tsvcod::noc

@@ -1,0 +1,157 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace tsvcod::obs {
+
+namespace {
+
+struct Counter {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct Gauge {
+  std::atomic<double> value{0.0};
+};
+
+struct Histogram {
+  std::vector<double> bounds;                           // upper edges, ascending
+  std::vector<std::atomic<std::uint64_t>> bucket_counts;  // bounds.size() + 1 (last = +inf)
+  std::atomic<std::uint64_t> count{0};
+
+  explicit Histogram(std::span<const double> edges)
+      : bounds(edges.begin(), edges.end()), bucket_counts(bounds.size() + 1) {
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      if (bounds[i] <= bounds[i - 1]) {
+        throw std::invalid_argument("obs: histogram bounds must be strictly ascending");
+      }
+    }
+  }
+
+  void observe(double v) {
+    std::size_t b = 0;
+    while (b < bounds.size() && v > bounds[b]) ++b;
+    bucket_counts[b].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Name -> metric maps. Lookups lock a mutex (the instrumented subsystems
+/// record per solve / per chain / per run, never per inner-loop step); the
+/// values themselves are atomics so concurrent recording stays cheap and
+/// commutative.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable at any exit stage
+  return *r;
+}
+
+Counter& counter_slot(const std::string& name) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge_slot(const std::string& name) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& histogram_slot(const std::string& name, std::span<const double> bounds) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+}  // namespace
+
+void metric_add(const char* name, std::uint64_t delta) {
+  if (!metrics_enabled()) return;
+  counter_slot(name).value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void metric_add(const std::string& name, std::uint64_t delta) {
+  if (!metrics_enabled()) return;
+  counter_slot(name).value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void metric_set(const char* name, double value) {
+  if (!metrics_enabled()) return;
+  gauge_slot(name).value.store(value, std::memory_order_relaxed);
+}
+
+void metric_set(const std::string& name, double value) {
+  if (!metrics_enabled()) return;
+  gauge_slot(name).value.store(value, std::memory_order_relaxed);
+}
+
+void metric_observe(const char* name, double value, std::span<const double> bounds) {
+  if (!metrics_enabled()) return;
+  histogram_slot(name, bounds).observe(value);
+}
+
+std::string metrics_to_json() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(c->value.load(std::memory_order_relaxed));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : r.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + json_number(g->value.load(std::memory_order_relaxed));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h->bounds.size(); ++i) {
+      if (i) out += ',';
+      out += json_number(h->bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h->bucket_counts.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h->bucket_counts[i].load(std::memory_order_relaxed));
+    }
+    out += "],\"count\":" + std::to_string(h->count.load(std::memory_order_relaxed)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void reset_metrics() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.counters.clear();
+  r.gauges.clear();
+  r.histograms.clear();
+}
+
+}  // namespace tsvcod::obs

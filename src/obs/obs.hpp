@@ -1,0 +1,139 @@
+#pragma once
+// Structured observability layer: Chrome-trace-event tracing plus a metrics
+// registry, both runtime-toggled and compiled so that the *disabled* path is
+// one relaxed atomic load and a branch — cheap enough to leave in every hot
+// loop (bench/obs_overhead measures it).
+//
+// Tracing (`Span`, `instant`, `counter`) appends to per-thread buffers: a
+// worker only ever touches its own buffer (one uncontended per-buffer mutex,
+// never shared between workers), so tracing composes with `opt::parallel_for`
+// without serializing the pool. `trace_to_json()` merges the buffers into a
+// `chrome://tracing` / Perfetto-loadable JSON document; call it from a
+// quiescent point (no parallel section in flight).
+//
+// Metrics are named counters (uint64), gauges (double) and fixed-bucket
+// histograms (uint64 bucket counts). Determinism contract: counter adds and
+// histogram observations are integer and commutative, so totals are
+// bit-identical at every thread count no matter which thread records them;
+// gauges are last-write-wins and must only be written from logical-order
+// (serial) code — the instrumented subsystems record them from post-reduction
+// loops. `metrics_to_json()` emits entries sorted by name, so the whole
+// document is bit-identical across thread counts.
+//
+// Enablement: `TSVCOD_TRACE=<file>` / `TSVCOD_METRICS=<file>` environment
+// variables (picked up by `init_from_env`, which the CLI calls) or the CLI's
+// `--trace-out` / `--metrics-out` flags; programs can also toggle directly
+// via `enable_tracing` / `enable_metrics`.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace tsvcod::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// One relaxed load: the whole cost of a disabled span/metric call site.
+inline bool trace_enabled() { return detail::g_trace_enabled.load(std::memory_order_relaxed); }
+inline bool metrics_enabled() { return detail::g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void enable_tracing(bool on = true);
+void enable_metrics(bool on = true);
+
+/// Read TSVCOD_TRACE / TSVCOD_METRICS: a non-empty value enables the layer
+/// and remembers the output path for `flush_outputs`.
+void init_from_env();
+
+/// Output paths ("" = none). Setting a non-empty path enables the layer.
+void set_trace_path(std::string path);
+void set_metrics_path(std::string path);
+std::string trace_path();
+std::string metrics_path();
+
+/// Write the trace / metrics JSON to their configured paths (no-op for the
+/// unset ones). Returns true if anything was written.
+bool flush_outputs();
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+/// Render a double as a JSON number (nonfinite values become null).
+std::string json_number(double v);
+
+/// RAII scoped span: records a Chrome "X" (complete) event on destruction.
+/// A span constructed while tracing is disabled is fully inert.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach arguments (the *body* of a JSON object, e.g. "\"n\":3") shown in
+  /// the trace viewer. No-op on inert spans.
+  void set_args(std::string args_body) {
+    if (active_) args_ = std::move(args_body);
+  }
+  bool active() const { return active_; }
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  std::string name_;
+  std::string args_;
+  std::int64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Thread-scoped instant event ("i").
+void instant(const char* name, std::string args_body = {});
+
+/// Counter-track sample ("C"): one named value-over-time track per name.
+void counter(const char* name, double value);
+void counter(const std::string& name, double value);
+
+/// Merge every thread's buffer into one Chrome trace JSON document. Must be
+/// called from a quiescent point; events of spans still open are not
+/// included.
+std::string trace_to_json();
+
+/// Drop all buffered events and restart the trace clock.
+void reset_trace();
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter; integer adds are commutative, hence thread-count
+/// invariant.
+void metric_add(const char* name, std::uint64_t delta = 1);
+void metric_add(const std::string& name, std::uint64_t delta);
+
+/// Last-write-wins gauge. Write only from logical-order (serial) code when
+/// determinism across thread counts is required.
+void metric_set(const char* name, double value);
+void metric_set(const std::string& name, double value);
+
+/// Histogram observation. `bounds` are the fixed upper bucket edges (sorted
+/// ascending; an implicit +inf bucket follows) and are latched on the first
+/// observation of `name`; later calls reuse the registered edges.
+void metric_observe(const char* name, double value, std::span<const double> bounds);
+
+/// Deterministic serialization: {"counters":{...},"gauges":{...},
+/// "histograms":{...}} with every map sorted by name.
+std::string metrics_to_json();
+
+/// Remove every registered metric (the next recording re-registers).
+void reset_metrics();
+
+}  // namespace tsvcod::obs

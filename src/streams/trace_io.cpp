@@ -6,12 +6,15 @@
 
 namespace tsvcod::streams {
 
-std::vector<std::uint64_t> parse_trace(std::istream& is) {
+std::vector<std::uint64_t> parse_trace(std::istream& is, const std::string& source) {
   std::vector<std::uint64_t> words;
   std::string line;
   std::size_t lineno = 0;
+  std::size_t line_offset = 0;  // byte offset of the current line's start
   while (std::getline(is, line)) {
     ++lineno;
+    const std::size_t this_offset = line_offset;
+    line_offset += line.size() + 1;  // getline consumed the '\n' too
     const auto pos = line.find_first_not_of(" \t\r");
     if (pos == std::string::npos || line[pos] == '#') continue;
     const std::string tok = line.substr(pos, line.find_last_not_of(" \t\r") - pos + 1);
@@ -22,8 +25,9 @@ std::vector<std::uint64_t> parse_trace(std::istream& is) {
       if (used != tok.size()) throw std::invalid_argument("trailing characters");
       words.push_back(v);
     } catch (const std::exception&) {
-      throw std::runtime_error("trace_io: bad word at line " + std::to_string(lineno) + ": '" +
-                               tok + "'");
+      throw std::runtime_error("trace_io: bad word in " + source + " at line " +
+                               std::to_string(lineno) + " (byte offset " +
+                               std::to_string(this_offset + pos) + "): '" + tok + "'");
     }
   }
   return words;
@@ -32,7 +36,7 @@ std::vector<std::uint64_t> parse_trace(std::istream& is) {
 std::vector<std::uint64_t> load_trace(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("trace_io: cannot open: " + path);
-  return parse_trace(is);
+  return parse_trace(is, path);
 }
 
 void save_trace(std::ostream& os, std::span<const std::uint64_t> words) {
@@ -44,6 +48,8 @@ void save_trace(const std::string& path, std::span<const std::uint64_t> words) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("trace_io: cannot open for writing: " + path);
   save_trace(os, words);
+  os.flush();
+  if (!os) throw std::runtime_error("trace_io: write failed: " + path);
 }
 
 TraceStream load_trace_stream(const std::string& path, std::size_t width) {

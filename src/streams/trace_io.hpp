@@ -14,8 +14,10 @@
 
 namespace tsvcod::streams {
 
-/// Parse a trace; throws std::runtime_error on malformed lines.
-std::vector<std::uint64_t> parse_trace(std::istream& is);
+/// Parse a trace; throws std::runtime_error on malformed lines. The error
+/// message names `source` (a file path for load_trace) plus the line number
+/// and byte offset of the offending token.
+std::vector<std::uint64_t> parse_trace(std::istream& is, const std::string& source = "<stream>");
 std::vector<std::uint64_t> load_trace(const std::string& path);
 
 void save_trace(std::ostream& os, std::span<const std::uint64_t> words);

@@ -60,13 +60,28 @@ LinearCapacitanceModel fit_from_analytic(const phys::TsvArrayGeometry& geom,
 }
 
 LinearCapacitanceModel fit_from_field(const phys::TsvArrayGeometry& geom,
-                                      const field::ExtractionOptions& opts) {
+                                      const field::ExtractionOptions& opts,
+                                      FieldFitStats* stats) {
   // One extractor for both fit points: the second extraction reuses the
   // rasterized grid / field-problem setup and warm-starts every conductor's
   // solve from the first point's potentials.
   field::CapacitanceExtractor extractor(geom, opts);
+  if (stats) *stats = FieldFitStats{};
   return fit_linear_model(
-      [&](std::span<const double> pr) { return extractor.extract(pr).paper; }, geom.count());
+      [&](std::span<const double> pr) {
+        auto res = extractor.extract(pr);
+        if (stats) {
+          for (const auto& s : res.stats) {
+            ++stats->solves;
+            stats->iterations += s.iterations;
+            if (s.trivial) ++stats->trivial;
+            if (!s.converged) ++stats->nonconverged;
+            if (!s.trivial) stats->preconditioner = s.preconditioner;
+          }
+        }
+        return res.paper;
+      },
+      geom.count());
 }
 
 double linearity_nrmse(const CapacitanceBackend& backend, const LinearCapacitanceModel& model,

@@ -55,9 +55,23 @@ LinearCapacitanceModel fit_linear_model(const CapacitanceBackend& backend, std::
 LinearCapacitanceModel fit_from_analytic(const phys::TsvArrayGeometry& geom,
                                          const AnalyticModelParams& params = {});
 
+/// Aggregate per-conductor solver statistics of a field-backend fit, so
+/// callers can report convergence behaviour instead of discarding it.
+struct FieldFitStats {
+  std::size_t solves = 0;        ///< field solves across both fit points
+  long long iterations = 0;      ///< total BiCGStab iterations
+  std::size_t trivial = 0;       ///< zero-rhs (shielded-conductor) solves
+  std::size_t nonconverged = 0;  ///< solves that missed the tolerance
+  /// Preconditioner that actually ran (multigrid requests report jacobi when
+  /// the grid was too small to coarsen); from the first non-trivial solve.
+  field::Preconditioner preconditioner = field::Preconditioner::multigrid;
+};
+
 /// Fit using the finite-difference field extractor (slow; golden reference).
+/// `stats`, if given, receives the aggregated solver statistics.
 LinearCapacitanceModel fit_from_field(const phys::TsvArrayGeometry& geom,
-                                      const field::ExtractionOptions& opts = {});
+                                      const field::ExtractionOptions& opts = {},
+                                      FieldFitStats* stats = nullptr);
 
 /// Normalized RMS error of the linear model against the backend, sampled at
 /// `samples` random probability vectors (normalization: RMS of the backend

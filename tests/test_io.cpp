@@ -64,6 +64,30 @@ TEST(TraceIo, RejectsBadLines) {
   EXPECT_THROW(streams::parse_trace(ss2), std::runtime_error);
 }
 
+TEST(TraceIo, ErrorNamesSourceLineAndByteOffset) {
+  // "12\n" is 3 bytes; the bad token starts 2 bytes into line 2.
+  std::stringstream ss("12\n  not_a_number\n");
+  try {
+    streams::parse_trace(ss, "bus.txt");
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bus.txt"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("byte offset 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("not_a_number"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceIo, LoadErrorNamesPath) {
+  try {
+    streams::load_trace("/nonexistent/dir/trace.txt");
+    FAIL() << "expected open failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/dir/trace.txt"), std::string::npos);
+  }
+}
+
 TEST(AssignmentIo, RoundTrip) {
   std::mt19937_64 rng(7);
   const auto a =

@@ -26,6 +26,7 @@
 #include "core/link.hpp"
 #include "field/export.hpp"
 #include "field/extractor.hpp"
+#include "obs/obs.hpp"
 #include "streams/trace_io.hpp"
 #include "tsv/model_io.hpp"
 #include "tsv/routing.hpp"
@@ -116,7 +117,15 @@ int cmd_extract(const Args& args) {
                 geom.rows, geom.cols, fo.cell * 1e6,
                 fo.solver.preconditioner == field::Preconditioner::multigrid ? "multigrid"
                                                                             : "jacobi");
-    model = tsv::fit_from_field(geom, fo);
+    tsv::FieldFitStats fit_stats;
+    model = tsv::fit_from_field(geom, fo, &fit_stats);
+    std::printf("field solves             : %zu (%lld iterations, %s preconditioner",
+                fit_stats.solves, fit_stats.iterations,
+                fit_stats.preconditioner == field::Preconditioner::multigrid ? "multigrid"
+                                                                            : "jacobi");
+    if (fit_stats.trivial > 0) std::printf(", %zu trivial", fit_stats.trivial);
+    if (fit_stats.nonconverged > 0) std::printf(", %zu NOT converged", fit_stats.nonconverged);
+    std::printf(")\n");
   } else if (backend == "analytic") {
     model = tsv::fit_from_analytic(geom);
   } else {
@@ -252,6 +261,9 @@ void usage() {
       "                results are identical at every thread count)\n"
       "               [--preconditioner jacobi|multigrid]  (field solves; default\n"
       "                multigrid, or the TSVCOD_PRECONDITIONER env override)\n"
+      "               [--trace-out FILE]    write a Chrome/Perfetto trace of the run\n"
+      "               [--metrics-out FILE]  write the metrics registry as JSON\n"
+      "                (TSVCOD_TRACE / TSVCOD_METRICS env set the same outputs)\n"
       "extract      : [--backend analytic|field] [--cell-um C] --out FILE\n"
       "optimize     : [--model FILE] --trace FILE [--no-invert i,j] [--iterations N]\n"
       "               [--seed S] [--out FILE]\n"
@@ -269,14 +281,33 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
-    if (cmd == "extract") return cmd_extract(args);
-    if (cmd == "optimize") return cmd_optimize(args);
-    if (cmd == "evaluate") return cmd_evaluate(args);
-    if (cmd == "mappings") return cmd_mappings(args);
-    if (cmd == "overhead") return cmd_overhead(args);
-    if (cmd == "fieldmap") return cmd_fieldmap(args);
-    usage();
-    return 2;
+    // Observability: env first, explicit flags override.
+    obs::init_from_env();
+    if (args.has("trace-out")) obs::set_trace_path(args.str("trace-out"));
+    if (args.has("metrics-out")) obs::set_metrics_path(args.str("metrics-out"));
+
+    int rc = 2;
+    if (cmd == "extract") rc = cmd_extract(args);
+    else if (cmd == "optimize") rc = cmd_optimize(args);
+    else if (cmd == "evaluate") rc = cmd_evaluate(args);
+    else if (cmd == "mappings") rc = cmd_mappings(args);
+    else if (cmd == "overhead") rc = cmd_overhead(args);
+    else if (cmd == "fieldmap") rc = cmd_fieldmap(args);
+    else {
+      usage();
+      return 2;
+    }
+
+    if (obs::flush_outputs()) {
+      if (!obs::trace_path().empty()) {
+        std::printf("trace written to %s (load in Perfetto / chrome://tracing)\n",
+                    obs::trace_path().c_str());
+      }
+      if (!obs::metrics_path().empty()) {
+        std::printf("metrics written to %s\n", obs::metrics_path().c_str());
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
