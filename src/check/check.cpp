@@ -1,0 +1,81 @@
+#include "check/check.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsvcod::check {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  // Steele/Lea/Flood splitmix64: tiny, full-period, and identical everywhere.
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // Mix the index through one splitmix step of a perturbed state so nearby
+  // iterations share no low-bit structure.
+  std::uint64_t state = base ^ (0xA0761D6478BD642FULL * (index + 1));
+  return splitmix64(state);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Debiased modulo via rejection on the top of the range.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v = u64();
+  while (v >= limit) v = u64();
+  return v % bound;
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) return u64();
+  return lo + below(span + 1);
+}
+
+double Rng::real01() {
+  // 53 uniform bits -> [0, 1).
+  return static_cast<double>(u64() >> 11) * 0x1.0p-53;
+}
+
+std::size_t effective_iterations(std::size_t base_iterations) {
+  const char* env = std::getenv("TSVCOD_CHECK_ITERS");
+  if (!env || !*env) return base_iterations;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) {
+    throw std::runtime_error("TSVCOD_CHECK_ITERS must be a positive integer, got: " +
+                             std::string(env));
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::optional<std::uint64_t> replay_seed_from_env() {
+  const char* env = std::getenv("TSVCOD_CHECK_SEED");
+  if (!env || !*env) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 0);  // accepts 0x... too
+  if (end == env || *end != '\0') {
+    throw std::runtime_error("TSVCOD_CHECK_SEED must be an integer (0x-hex ok), got: " +
+                             std::string(env));
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string format_failure(const std::string& name, std::size_t iteration,
+                           std::uint64_t replay_seed, const std::string& cause,
+                           std::size_t shrink_steps, const std::string& counterexample) {
+  std::ostringstream os;
+  os << "property '" << name << "' FAILED at iteration " << iteration << '\n';
+  os << "  replay: TSVCOD_CHECK_SEED=0x" << std::hex << replay_seed << std::dec
+     << " (regenerates this exact counterexample)\n";
+  os << "  cause: " << cause << '\n';
+  os << "  shrunk counterexample (" << shrink_steps << " shrink steps): " << counterexample;
+  return os.str();
+}
+
+}  // namespace tsvcod::check

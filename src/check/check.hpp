@@ -1,0 +1,151 @@
+#pragma once
+// Seeded, deterministic property-based testing harness with a minimizing
+// shrinker.
+//
+// Every iteration derives its own seed from (base seed, iteration index) via
+// splitmix64, generates one structured input, and runs a checker over it. On
+// failure the harness greedily shrinks the input through caller-provided
+// candidate reductions and reports the *iteration seed*: re-running with
+// TSVCOD_CHECK_SEED=<that value> regenerates the identical input and the
+// identical shrunk counterexample, because generation and shrinking are both
+// pure functions of the seed. Iteration counts scale with TSVCOD_CHECK_ITERS
+// so CI stays fast and nightly runs go deep.
+//
+// The random source is a self-contained splitmix64/xoshiro-free generator:
+// std::uniform_*_distribution is implementation-defined, which would make a
+// printed replay seed meaningless on another standard library.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tsvcod::check {
+
+/// One splitmix64 step (public: seed derivation must be reproducible by
+/// external drivers that want to replay a specific iteration).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Seed of iteration `index` under base seed `base`.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+/// Deterministic PRNG, identical on every platform and standard library.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t u64() { return splitmix64(state_); }
+
+  /// Uniform in [0, bound); bound 0 returns 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] (inclusive).
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double real01();
+
+  /// Uniform double in [lo, hi).
+  double real(double lo, double hi) { return lo + (hi - lo) * real01(); }
+
+  /// True with probability p.
+  bool chance(double p) { return real01() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct RunOptions {
+  std::uint64_t seed = 0x75C0D5EEDULL;  ///< base seed (per-iteration seeds derive from it)
+  std::size_t iterations = 100;         ///< resolved count (see effective_iterations)
+  std::size_t max_shrink_steps = 2000;  ///< cap on candidate evaluations while shrinking
+};
+
+/// `base_iterations` scaled by the TSVCOD_CHECK_ITERS environment variable:
+/// unset returns the base; a positive integer N returns N (the oracles apply
+/// their own relative cost factors on top). Invalid values throw.
+std::size_t effective_iterations(std::size_t base_iterations);
+
+/// TSVCOD_CHECK_SEED, if set: run exactly that iteration seed instead of the
+/// sweep (the replay knob printed in every failure report).
+std::optional<std::uint64_t> replay_seed_from_env();
+
+struct Report {
+  std::string name;
+  bool ok = true;
+  std::size_t iterations_run = 0;
+  std::size_t shrink_steps = 0;
+  std::uint64_t replay_seed = 0;  ///< seed of the failing iteration (valid when !ok)
+  std::string message;            ///< human-readable failure report
+};
+
+/// Render the standard failure block (replay line included).
+std::string format_failure(const std::string& name, std::size_t iteration,
+                           std::uint64_t replay_seed, const std::string& cause,
+                           std::size_t shrink_steps, const std::string& counterexample);
+
+/// Run a property.
+///   gen(Rng&) -> Input                              generate one input
+///   check(const Input&) -> std::optional<string>    nullopt = pass, text = why it failed
+///   shrink(const Input&) -> std::vector<Input>      strictly-smaller candidates (deterministic!)
+///   describe(const Input&) -> std::string           printable form for the report
+/// Exceptions thrown by check() count as failures (message = what()).
+template <typename Input, typename Gen, typename Check, typename Shrink, typename Describe>
+Report check_property(const std::string& name, const RunOptions& opt, Gen&& gen, Check&& check,
+                      Shrink&& shrink, Describe&& describe) {
+  Report report;
+  report.name = name;
+
+  const auto guarded = [&](const Input& in) -> std::optional<std::string> {
+    try {
+      return check(in);
+    } catch (const std::exception& e) {
+      return std::string("unexpected exception: ") + e.what();
+    }
+  };
+
+  const auto run_one = [&](std::uint64_t seed, std::size_t iteration) -> bool {
+    Rng rng(seed);
+    Input input = gen(rng);
+    auto failure = guarded(input);
+    if (!failure) return true;
+
+    // Greedy minimization: repeatedly move to the first still-failing
+    // candidate. shrink() is deterministic, so a replay reproduces not just
+    // the failure but the exact shrunk counterexample.
+    std::size_t steps = 0;
+    bool progress = true;
+    while (progress && steps < opt.max_shrink_steps) {
+      progress = false;
+      for (Input& cand : shrink(input)) {
+        if (++steps > opt.max_shrink_steps) break;
+        if (auto cand_failure = guarded(cand)) {
+          input = std::move(cand);
+          failure = std::move(cand_failure);
+          progress = true;
+          break;
+        }
+      }
+    }
+    report.ok = false;
+    report.replay_seed = seed;
+    report.shrink_steps = steps;
+    report.message =
+        format_failure(name, iteration, seed, *failure, steps, describe(input));
+    return false;
+  };
+
+  if (const auto replay = replay_seed_from_env()) {
+    report.iterations_run = 1;
+    run_one(*replay, 0);
+    return report;
+  }
+  for (std::size_t i = 0; i < opt.iterations; ++i) {
+    ++report.iterations_run;
+    if (!run_one(derive_seed(opt.seed, i), i)) break;
+  }
+  return report;
+}
+
+}  // namespace tsvcod::check

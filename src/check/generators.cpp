@@ -1,0 +1,132 @@
+#include "check/generators.hpp"
+
+#include <algorithm>
+
+#include "streams/word_stream.hpp"
+
+namespace tsvcod::check {
+
+std::vector<std::uint64_t> gen_trace(Rng& rng, std::size_t width, std::size_t length) {
+  const std::uint64_t mask = streams::width_mask(width);
+  std::vector<std::uint64_t> words(length);
+  switch (rng.below(4)) {
+    case 0:  // white noise
+      for (auto& w : words) w = rng.u64() & mask;
+      break;
+    case 1: {  // sticky bits: each bit flips with its own small probability
+      std::vector<double> flip(width);
+      for (auto& p : flip) p = rng.real(0.01, 0.6);
+      std::uint64_t cur = rng.u64() & mask;
+      for (auto& w : words) {
+        for (std::size_t b = 0; b < width; ++b) {
+          if (rng.chance(flip[b])) cur ^= std::uint64_t{1} << b;
+        }
+        w = cur;
+      }
+      break;
+    }
+    case 2: {  // constant runs with occasional jumps
+      std::uint64_t cur = rng.u64() & mask;
+      for (auto& w : words) {
+        if (rng.chance(0.15)) cur = rng.u64() & mask;
+        w = cur;
+      }
+      break;
+    }
+    default: {  // counter ramp (T0's home turf), random stride
+      std::uint64_t cur = rng.u64() & mask;
+      const std::uint64_t stride = rng.range(1, 4);
+      for (auto& w : words) {
+        w = cur;
+        cur = (cur + (rng.chance(0.9) ? stride : rng.u64())) & mask;
+      }
+      break;
+    }
+  }
+  return words;
+}
+
+stats::SwitchingStats gen_stats(Rng& rng, std::size_t width, std::size_t length) {
+  const auto words = gen_trace(rng, width, std::max<std::size_t>(length, 2));
+  return stats::compute_stats(words, width);
+}
+
+tsv::LinearCapacitanceModel gen_model(Rng& rng, std::size_t n, bool allow_negative) {
+  phys::Matrix cr(n, n);
+  phys::Matrix dc(n, n);
+  // Femtofarad-scale entries like the real extractors produce, so drift
+  // tolerances exercise realistic magnitudes.
+  const double scale = 1e-15;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double c = rng.real(0.05, 2.0) * scale;
+      double d = rng.real(-0.5, 0.5) * scale;
+      if (allow_negative && rng.chance(0.3)) c = -c;
+      cr(i, j) = cr(j, i) = c;
+      dc(i, j) = dc(j, i) = d;
+    }
+  }
+  return tsv::LinearCapacitanceModel(std::move(cr), std::move(dc));
+}
+
+core::SignedPermutation gen_assignment(Rng& rng, std::size_t n) {
+  core::SignedPermutation a(n);
+  // Fisher-Yates over bits via self-inverse swap moves.
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    if (j != i - 1) a.swap_bits(i - 1, j);
+  }
+  for (std::size_t bit = 0; bit < n; ++bit) {
+    if (rng.chance(0.5)) a.toggle_inversion(bit);
+  }
+  return a;
+}
+
+std::string mutate_text(Rng& rng, std::string text, std::size_t count) {
+  static const char* kTokens[] = {"nan", "inf",  "-inf", "-1",  "+3",     "1e999",
+                                  "0x",  "map",  "#",    "n",   "999999999999999999999",
+                                  " ",   "\t",   "0x10", "1.5", "18446744073709551616"};
+  for (std::size_t k = 0; k < count; ++k) {
+    if (text.empty()) {
+      text = kTokens[rng.below(std::size(kTokens))];
+      continue;
+    }
+    switch (rng.below(6)) {
+      case 0: {  // flip one byte to a random printable character
+        text[rng.below(text.size())] = static_cast<char>(' ' + rng.below(95));
+        break;
+      }
+      case 1: {  // delete a short range
+        const std::size_t pos = rng.below(text.size());
+        const std::size_t len = 1 + rng.below(std::min<std::size_t>(16, text.size() - pos));
+        text.erase(pos, len);
+        break;
+      }
+      case 2: {  // insert a hostile token
+        text.insert(rng.below(text.size() + 1), kTokens[rng.below(std::size(kTokens))]);
+        break;
+      }
+      case 3: {  // truncate (the "truncated final line" class)
+        text.resize(rng.below(text.size() + 1));
+        break;
+      }
+      case 4: {  // duplicate one line
+        const std::size_t start = text.rfind('\n', rng.below(text.size()));
+        const std::size_t from = start == std::string::npos ? 0 : start + 1;
+        std::size_t end = text.find('\n', from);
+        if (end == std::string::npos) end = text.size();
+        text.insert(from, text.substr(from, end - from) + "\n");
+        break;
+      }
+      default: {  // swap two bytes
+        const std::size_t a = rng.below(text.size());
+        const std::size_t b = rng.below(text.size());
+        std::swap(text[a], text[b]);
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+}  // namespace tsvcod::check

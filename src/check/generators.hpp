@@ -1,0 +1,41 @@
+#pragma once
+// Structured input generators for the differential oracles.
+//
+// Everything here is a pure function of the Rng state, so an iteration seed
+// fully determines the generated input. Word traces are drawn from a mixture
+// of regimes (uniform noise, sticky per-bit toggling, constant runs, counter
+// ramps) because codec and statistics bugs hide in *structured* traffic, not
+// in white noise.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/assignment.hpp"
+#include "stats/switching_stats.hpp"
+#include "tsv/linear_model.hpp"
+
+namespace tsvcod::check {
+
+/// `length` words of `width` bits from a randomly chosen traffic regime.
+std::vector<std::uint64_t> gen_trace(Rng& rng, std::size_t width, std::size_t length);
+
+/// Switching statistics of a fresh random trace (>= 2 words).
+stats::SwitchingStats gen_stats(Rng& rng, std::size_t width, std::size_t length);
+
+/// Random symmetric capacitance model. With `allow_negative`, C_R entries may
+/// go negative — unphysical, but the power algebra must stay consistent there
+/// (the greedy-descent sign bug lived exactly in that regime).
+tsv::LinearCapacitanceModel gen_model(Rng& rng, std::size_t n, bool allow_negative);
+
+/// Uniformly random signed permutation (inversions on every bit allowed),
+/// driven by the deterministic Rng instead of std::uniform_int_distribution.
+core::SignedPermutation gen_assignment(Rng& rng, std::size_t n);
+
+/// Byte-level mutation for parser fuzzing: flips, deletions, insertions of
+/// hostile tokens ("nan", "-1", "1e999", ...), line duplication, truncation.
+/// Applies `count` mutations and returns the mutated text.
+std::string mutate_text(Rng& rng, std::string text, std::size_t count);
+
+}  // namespace tsvcod::check

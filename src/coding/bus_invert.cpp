@@ -6,7 +6,11 @@
 namespace tsvcod::coding {
 
 BusInvertCodec::BusInvertCodec(std::size_t width) : width_(width) {
-  if (width == 0 || width > 63) throw std::invalid_argument("BusInvertCodec: bad width");
+  if (width == 0 || width > kMaxWidth) {
+    throw std::invalid_argument("BusInvertCodec: width " + std::to_string(width) +
+                                " out of range [1, " + std::to_string(kMaxWidth) +
+                                "] (the invert flag occupies one extra line)");
+  }
 }
 
 std::uint64_t BusInvertCodec::encode(std::uint64_t word) {
@@ -28,7 +32,11 @@ void BusInvertCodec::reset() { prev_out_ = 0; }
 
 CouplingInvertCodec::CouplingInvertCodec(std::size_t width, double lambda)
     : width_(width), lambda_(lambda) {
-  if (width == 0 || width > 63) throw std::invalid_argument("CouplingInvertCodec: bad width");
+  if (width == 0 || width > kMaxWidth) {
+    throw std::invalid_argument("CouplingInvertCodec: width " + std::to_string(width) +
+                                " out of range [1, " + std::to_string(kMaxWidth) +
+                                "] (the invert flag occupies one extra line)");
+  }
   if (lambda < 0.0) throw std::invalid_argument("CouplingInvertCodec: lambda must be >= 0");
 }
 

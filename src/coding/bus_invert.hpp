@@ -25,6 +25,14 @@ class BusInvertCodec final : public Codec {
   std::uint64_t encode(std::uint64_t word) override;
   std::uint64_t decode(std::uint64_t code) override;
   void reset() override;
+  std::unique_ptr<Codec> clone() const override {
+    return std::make_unique<BusInvertCodec>(*this);
+  }
+
+  /// Widest supported payload: the invert flag occupies line `width`, and the
+  /// full code word must still fit a 64-bit word, so 63 payload bits max
+  /// (one less than the width-preserving codecs).
+  static constexpr std::size_t kMaxWidth = 63;
 
  private:
   std::size_t width_;
@@ -42,6 +50,12 @@ class CouplingInvertCodec final : public Codec {
   std::uint64_t encode(std::uint64_t word) override;
   std::uint64_t decode(std::uint64_t code) override;
   void reset() override;
+  std::unique_ptr<Codec> clone() const override {
+    return std::make_unique<CouplingInvertCodec>(*this);
+  }
+
+  /// Same flag-line budget as BusInvertCodec: 63 payload bits max.
+  static constexpr std::size_t kMaxWidth = 63;
 
   /// Planar-bus transition cost between consecutive code words (flag
   /// included as the top line). Exposed for tests.

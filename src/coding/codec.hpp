@@ -24,6 +24,10 @@ class Codec {
   virtual std::uint64_t decode(std::uint64_t code) = 0;
   /// Clear any history (returns the codec to its power-on state).
   virtual void reset() = 0;
+  /// Deep copy, history included. A transmitter/receiver pair is built by
+  /// cloning one configured codec so the two endpoints can never disagree on
+  /// parameters (width, period, stride, inversion mask).
+  virtual std::unique_ptr<Codec> clone() const = 0;
 };
 
 /// Word stream that pushes an inner stream through a codec.

@@ -11,7 +11,10 @@ CorrelatorCodec::CorrelatorCodec(std::size_t width, std::size_t period,
       mask_(inversion_mask & streams::width_mask(width)),
       enc_history_(period, 0),
       dec_history_(period, 0) {
-  if (width == 0 || width > 64) throw std::invalid_argument("CorrelatorCodec: bad width");
+  if (width == 0 || width > kMaxWidth) {
+    throw std::invalid_argument("CorrelatorCodec: width " + std::to_string(width) +
+                                " out of range [1, " + std::to_string(kMaxWidth) + "]");
+  }
   if (period == 0) throw std::invalid_argument("CorrelatorCodec: period must be > 0");
 }
 

@@ -26,6 +26,12 @@ class CorrelatorCodec final : public Codec {
   std::uint64_t encode(std::uint64_t word) override;
   std::uint64_t decode(std::uint64_t code) override;
   void reset() override;
+  std::unique_ptr<Codec> clone() const override {
+    return std::make_unique<CorrelatorCodec>(*this);
+  }
+
+  /// Widest supported word; the code is width-preserving.
+  static constexpr std::size_t kMaxWidth = 64;
 
  private:
   std::size_t width_;

@@ -5,7 +5,10 @@
 namespace tsvcod::coding {
 
 FibonacciCodec::FibonacciCodec(std::size_t width_in) : width_in_(width_in) {
-  if (width_in == 0 || width_in > 40) throw std::invalid_argument("FibonacciCodec: bad width");
+  if (width_in == 0 || width_in > kMaxWidth) {
+    throw std::invalid_argument("FibonacciCodec: width " + std::to_string(width_in) +
+                                " out of range [1, " + std::to_string(kMaxWidth) + "]");
+  }
   const std::uint64_t max_value = streams::width_mask(width_in);
   // Fibonacci weights F2, F3, ... = 1, 2, 3, 5, ...; with weights up to F_k
   // the *non-adjacent* (Zeckendorf) representable range is [0, F_{k+1} - 1],

@@ -27,6 +27,13 @@ class FibonacciCodec final : public Codec {
   std::uint64_t encode(std::uint64_t word) override;
   std::uint64_t decode(std::uint64_t code) override;
   void reset() override {}
+  std::unique_ptr<Codec> clone() const override {
+    return std::make_unique<FibonacciCodec>(*this);
+  }
+
+  /// Widest supported payload: ~1.44x expansion must stay within 63 output
+  /// lines (a 64-bit code word with headroom for the Zeckendorf ladder).
+  static constexpr std::size_t kMaxWidth = 40;
 
   /// True iff the codeword has no two adjacent 1s (the CAC invariant).
   static bool is_forbidden_pattern_free(std::uint64_t code);

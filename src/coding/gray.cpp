@@ -6,7 +6,10 @@ namespace tsvcod::coding {
 
 GrayCodec::GrayCodec(std::size_t width, std::uint64_t inversion_mask)
     : width_(width), mask_(inversion_mask & streams::width_mask(width)) {
-  if (width == 0 || width > 64) throw std::invalid_argument("GrayCodec: bad width");
+  if (width == 0 || width > kMaxWidth) {
+    throw std::invalid_argument("GrayCodec: width " + std::to_string(width) +
+                                " out of range [1, " + std::to_string(kMaxWidth) + "]");
+  }
 }
 
 std::uint64_t GrayCodec::binary_to_gray(std::uint64_t b) { return b ^ (b >> 1); }

@@ -22,6 +22,10 @@ class GrayCodec final : public Codec {
   std::uint64_t encode(std::uint64_t word) override;
   std::uint64_t decode(std::uint64_t code) override;
   void reset() override {}
+  std::unique_ptr<Codec> clone() const override { return std::make_unique<GrayCodec>(*this); }
+
+  /// Widest supported word; the code is width-preserving.
+  static constexpr std::size_t kMaxWidth = 64;
 
   /// Plain binary-reflected Gray conversion helpers.
   static std::uint64_t binary_to_gray(std::uint64_t b);

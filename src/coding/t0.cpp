@@ -5,7 +5,11 @@
 namespace tsvcod::coding {
 
 T0Codec::T0Codec(std::size_t width, std::uint64_t stride) : width_(width), stride_(stride) {
-  if (width == 0 || width > 63) throw std::invalid_argument("T0Codec: bad width");
+  if (width == 0 || width > kMaxWidth) {
+    throw std::invalid_argument("T0Codec: width " + std::to_string(width) +
+                                " out of range [1, " + std::to_string(kMaxWidth) +
+                                "] (the INC flag occupies one extra line)");
+  }
   if (stride == 0) throw std::invalid_argument("T0Codec: stride must be nonzero");
 }
 

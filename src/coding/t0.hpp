@@ -21,6 +21,10 @@ class T0Codec final : public Codec {
   std::uint64_t encode(std::uint64_t word) override;
   std::uint64_t decode(std::uint64_t code) override;
   void reset() override;
+  std::unique_ptr<Codec> clone() const override { return std::make_unique<T0Codec>(*this); }
+
+  /// The INC flag occupies line `width`: 63 payload bits max.
+  static constexpr std::size_t kMaxWidth = 63;
 
  private:
   std::size_t width_;

@@ -89,4 +89,13 @@ std::uint64_t SignedPermutation::apply_word(std::uint64_t word) const {
   return out;
 }
 
+std::uint64_t SignedPermutation::unapply_word(std::uint64_t lines) const {
+  std::uint64_t out = 0;
+  for (std::size_t bit = 0; bit < size(); ++bit) {
+    const std::uint64_t v = ((lines >> line_of_bit_[bit]) & 1u) ^ (inverted_[bit] ? 1u : 0u);
+    out |= v << bit;
+  }
+  return out;
+}
+
 }  // namespace tsvcod::core

@@ -54,6 +54,10 @@ class SignedPermutation {
   /// Map one data word onto the physical lines (permute + invert).
   std::uint64_t apply_word(std::uint64_t word) const;
 
+  /// Inverse of apply_word: recover the data word from the line word
+  /// (unapply_word(apply_word(w)) == w for any w within the width).
+  std::uint64_t unapply_word(std::uint64_t lines) const;
+
   bool operator==(const SignedPermutation&) const = default;
 
  private:

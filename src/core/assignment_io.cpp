@@ -58,8 +58,15 @@ SignedPermutation load_assignment(std::istream& is) {
     std::size_t bit = 0, l = 0;
     int inv = 0;
     ms >> tag >> bit >> l >> inv;
-    if (tag != "map" || bit >= n || l >= n || (inv != 0 && inv != 1)) {
+    // A truncated line ("map 3") leaves the failed fields value-initialized
+    // to zero, which would silently read as "bit 3 -> line 0, not inverted";
+    // the stream state must be checked, not just the values.
+    if (!ms || tag != "map" || bit >= n || l >= n || (inv != 0 && inv != 1)) {
       throw std::runtime_error("assignment_io: bad map line: " + line);
+    }
+    std::string extra;
+    if (ms >> extra) {
+      throw std::runtime_error("assignment_io: trailing data on map line: " + line);
     }
     if (line_of_bit[bit] != n) throw std::runtime_error("assignment_io: duplicate bit");
     line_of_bit[bit] = l;

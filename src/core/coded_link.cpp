@@ -1,0 +1,35 @@
+#include "core/coded_link.hpp"
+
+#include <stdexcept>
+
+namespace tsvcod::core {
+
+CodedLink::CodedLink(SignedPermutation assignment, std::unique_ptr<coding::Codec> codec)
+    : assignment_(std::move(assignment)), tx_(std::move(codec)) {
+  if (!tx_) throw std::invalid_argument("CodedLink: null codec");
+  if (assignment_.size() != tx_->width_out()) {
+    throw std::invalid_argument("CodedLink: assignment size " +
+                                std::to_string(assignment_.size()) +
+                                " does not match codec output width " +
+                                std::to_string(tx_->width_out()));
+  }
+  // Both endpoints must start from the power-on state regardless of any
+  // traffic the caller already pushed through the prototype.
+  tx_->reset();
+  rx_ = tx_->clone();
+}
+
+std::uint64_t CodedLink::transmit(std::uint64_t word) {
+  return assignment_.apply_word(tx_->encode(word));
+}
+
+std::uint64_t CodedLink::receive(std::uint64_t lines) {
+  return rx_->decode(assignment_.unapply_word(lines));
+}
+
+void CodedLink::reset() {
+  tx_->reset();
+  rx_->reset();
+}
+
+}  // namespace tsvcod::core

@@ -27,6 +27,13 @@ double Link::power(const stats::SwitchingStats& bit_stats, const SignedPermutati
   return assignment_power(bit_stats, a, model_);
 }
 
+CodedLink Link::coded(const coding::CodecSpec& spec, const SignedPermutation& assignment) const {
+  if (assignment.size() != width()) {
+    throw std::invalid_argument("Link::coded: assignment size does not match the array");
+  }
+  return CodedLink(assignment, coding::make_codec_for_lines(spec, width()));
+}
+
 AssignmentStudy study_assignments(const Link& link, const stats::SwitchingStats& bit_stats,
                                   const StudyOptions& options) {
   if (bit_stats.width != link.width()) {

@@ -9,6 +9,8 @@
 
 #include <cstddef>
 
+#include "coding/factory.hpp"
+#include "core/coded_link.hpp"
 #include "core/mappings.hpp"
 #include "core/optimize.hpp"
 #include "streams/word_stream.hpp"
@@ -33,6 +35,11 @@ class Link {
 
   /// Normalized power of a stream's statistics under an assignment.
   double power(const stats::SwitchingStats& bit_stats, const SignedPermutation& a) const;
+
+  /// End-to-end coded transmission over this array: the codec named by `spec`
+  /// is sized so its output occupies exactly the array's lines, and both
+  /// endpoints live in one CodedLink so they can only be reset atomically.
+  CodedLink coded(const coding::CodecSpec& spec, const SignedPermutation& assignment) const;
 
  private:
   phys::TsvArrayGeometry geom_;

@@ -133,6 +133,25 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
   return solve(active, opts, std::span<const Complex>{}, stats);
 }
 
+std::vector<Complex> FieldProblem::rhs(std::int32_t active) const {
+  const std::size_t nx = grid_.nx();
+  const std::size_t ny = grid_.ny();
+  std::vector<Complex> b(free_cells_.size(), Complex{});
+  for (std::size_t u = 0; u < free_cells_.size(); ++u) {
+    const std::size_t i = free_cells_[u];
+    const std::size_t ix = i % nx;
+    const std::size_t iy = i / nx;
+    auto dirichlet = [&](std::size_t j, Complex w) {
+      if (grid_.conductor(j) == active) b[u] += w;  // phi = 1 there
+    };
+    if (ix + 1 < nx && free_index_[i + 1] < 0) dirichlet(i + 1, w_east_[i]);
+    if (ix > 0 && free_index_[i - 1] < 0) dirichlet(i - 1, w_east_[i - 1]);
+    if (iy + 1 < ny && free_index_[i + nx] < 0) dirichlet(i + nx, w_north_[i]);
+    if (iy > 0 && free_index_[i - nx] < 0) dirichlet(i - nx, w_north_[i - nx]);
+  }
+  return b;
+}
+
 std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOptions& opts,
                                          std::span<const Complex> phi0, SolveStats* stats) const {
   obs::Span span("field.solve");
@@ -148,19 +167,7 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
 
   // Right-hand side: contributions of Dirichlet neighbours (active conductor
   // at 1 V; everything else at 0 V).
-  std::vector<Complex> b(nu, Complex{});
-  for (std::size_t u = 0; u < nu; ++u) {
-    const std::size_t i = free_cells_[u];
-    const std::size_t ix = i % nx;
-    const std::size_t iy = i / nx;
-    auto dirichlet = [&](std::size_t j, Complex w) {
-      if (grid_.conductor(j) == active) b[u] += w;  // phi = 1 there
-    };
-    if (ix + 1 < nx && free_index_[i + 1] < 0) dirichlet(i + 1, w_east_[i]);
-    if (ix > 0 && free_index_[i - 1] < 0) dirichlet(i - 1, w_east_[i - 1]);
-    if (iy + 1 < ny && free_index_[i + nx] < 0) dirichlet(i + nx, w_north_[i]);
-    if (iy > 0 && free_index_[i - nx] < 0) dirichlet(i - nx, w_north_[i - nx]);
-  }
+  const std::vector<Complex> b = rhs(active);
 
   // Resolve the preconditioner: multigrid falls back to Jacobi when the grid
   // is too small to coarsen.

@@ -80,12 +80,23 @@ class FieldProblem {
   /// right-hand side. Public for golden tests and diagnostics.
   void apply(const std::vector<Complex>& x, std::vector<Complex>& y) const;
 
+  /// Right-hand side of A x = b with conductor `active` at 1 V and all other
+  /// Dirichlet nodes at 0 V (packed over the free unknowns). Together with
+  /// apply() this lets a reference solver (e.g. dense LU in the differential
+  /// harness) reproduce exactly the system the iterative solve sees.
+  std::vector<Complex> rhs(std::int32_t active) const;
+
   /// Re-derive the face weights (and any built multigrid hierarchy) after
   /// the referenced Grid's permittivities changed in place. The conductor
   /// layout must be unchanged — extraction reuse repaints dielectrics only.
   void update_coefficients();
 
   std::size_t unknowns() const { return free_index_.size() - dirichlet_count_; }
+
+  /// Cell index of each packed unknown (the inverse of the packing used by
+  /// apply()/rhs()); lets external reference solvers compare a packed solution
+  /// against the full-grid potential returned by solve().
+  const std::vector<std::size_t>& free_cells() const { return free_cells_; }
 
  private:
   /// The hierarchy for multigrid solves, built on first use with the options

@@ -19,6 +19,9 @@ std::vector<std::uint64_t> parse_trace(std::istream& is, const std::string& sour
     if (pos == std::string::npos || line[pos] == '#') continue;
     const std::string tok = line.substr(pos, line.find_last_not_of(" \t\r") - pos + 1);
     try {
+      // std::stoull silently accepts a sign and wraps "-1" to 2^64-1; words
+      // are unsigned line patterns, so any signed token is malformed.
+      if (tok[0] == '-' || tok[0] == '+') throw std::invalid_argument("signed word");
       std::size_t used = 0;
       const int base = tok.rfind("0x", 0) == 0 || tok.rfind("0X", 0) == 0 ? 16 : 10;
       const std::uint64_t v = std::stoull(tok, &used, base);

@@ -1,5 +1,6 @@
 #include "tsv/model_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -41,6 +42,16 @@ phys::Matrix read_matrix(std::istream& is, const char* tag, std::size_t n) {
     if (got != tag) throw std::runtime_error("model_io: expected '" + std::string(tag) + "' row");
     for (std::size_t c = 0; c < n; ++c) {
       if (!(ls >> m(r, c))) throw std::runtime_error("model_io: short matrix row");
+      // operator>> happily parses "nan"/"inf"; a capacitance model with a
+      // non-finite entry poisons every power number downstream.
+      if (!std::isfinite(m(r, c))) {
+        throw std::runtime_error("model_io: non-finite " + std::string(tag) + " entry: " + line);
+      }
+    }
+    std::string extra;
+    if (ls >> extra) {
+      throw std::runtime_error("model_io: trailing data on " + std::string(tag) +
+                               " row: " + extra);
     }
   }
   return m;

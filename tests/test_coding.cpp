@@ -9,6 +9,7 @@
 #include "coding/bus_invert.hpp"
 #include "coding/codec.hpp"
 #include "coding/correlator.hpp"
+#include "coding/factory.hpp"
 #include "coding/gray.hpp"
 #include "coding/fibonacci.hpp"
 #include "coding/t0.hpp"
@@ -289,6 +290,106 @@ TEST(Fibonacci, PatternFreeCheckerItself) {
   EXPECT_TRUE(coding::FibonacciCodec::is_forbidden_pattern_free(0b101010));
   EXPECT_FALSE(coding::FibonacciCodec::is_forbidden_pattern_free(0b1100));
   EXPECT_TRUE(coding::FibonacciCodec::is_forbidden_pattern_free(0));
+}
+
+// --- Width-limit validation through the factory ----------------------------
+
+TEST(Factory, EveryCodecAcceptsItsFullRangeAndNamesItsLimit) {
+  for (const auto& name : codec_names()) {
+    const std::size_t max = codec_max_width(name);
+    CodecSpec spec;
+    spec.name = name;
+    EXPECT_NO_THROW(make_codec(spec, 1)) << name;
+    EXPECT_NO_THROW(make_codec(spec, max)) << name;
+    for (const std::size_t bad : {std::size_t{0}, max + 1}) {
+      try {
+        make_codec(spec, bad);
+        FAIL() << name << " accepted width " << bad;
+      } catch (const std::invalid_argument& e) {
+        // The message must name the codec and its actual ceiling, not a
+        // generic "bad width".
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(name), std::string::npos) << msg;
+        EXPECT_NE(msg.find("[1, " + std::to_string(max) + "]"), std::string::npos) << msg;
+      }
+    }
+  }
+}
+
+TEST(Factory, EdgeWidths1And63And64) {
+  // Width-preserving codecs reach 64; flag-extending codecs stop at 63 (the
+  // flag occupies the 64th line); Fibonacci stops far earlier (expansion).
+  CodecSpec gray{.name = "gray"};
+  EXPECT_EQ(make_codec(gray, 64)->width_out(), 64u);
+  CodecSpec correlator{.name = "correlator", .period = 3};
+  EXPECT_EQ(make_codec(correlator, 64)->width_out(), 64u);
+
+  for (const char* name : {"bus-invert", "coupling-invert", "t0"}) {
+    CodecSpec spec;
+    spec.name = name;
+    EXPECT_EQ(codec_max_width(name), 63u);
+    EXPECT_EQ(make_codec(spec, 1)->width_out(), 2u) << name;
+    EXPECT_EQ(make_codec(spec, 63)->width_out(), 64u) << name;
+    EXPECT_THROW(make_codec(spec, 64), std::invalid_argument) << name;
+  }
+
+  EXPECT_EQ(codec_max_width("fibonacci"), 40u);
+  EXPECT_THROW(make_codec(CodecSpec{.name = "fibonacci"}, 41), std::invalid_argument);
+  EXPECT_LE(make_codec(CodecSpec{.name = "fibonacci"}, 40)->width_out(), 64u);
+}
+
+TEST(Factory, DirectConstructorsEnforceTheSameLimits) {
+  EXPECT_NO_THROW(GrayCodec(64));
+  EXPECT_THROW(GrayCodec(65), std::invalid_argument);
+  EXPECT_NO_THROW(BusInvertCodec(63));
+  EXPECT_THROW(BusInvertCodec(64), std::invalid_argument);
+  EXPECT_NO_THROW(CouplingInvertCodec(63));
+  EXPECT_THROW(CouplingInvertCodec(64), std::invalid_argument);
+  EXPECT_NO_THROW(T0Codec(63));
+  EXPECT_THROW(T0Codec(64), std::invalid_argument);
+  EXPECT_NO_THROW(FibonacciCodec(40));
+  EXPECT_THROW(FibonacciCodec(41), std::invalid_argument);
+  try {
+    BusInvertCodec(64);
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("63"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Factory, UnknownNameListsTheAlternatives) {
+  try {
+    make_codec(CodecSpec{.name = "huffman"}, 8);
+    FAIL() << "unknown codec accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("huffman"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("gray"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fibonacci"), std::string::npos) << msg;
+  }
+}
+
+TEST(Factory, MakeCodecForLinesInvertsTheExpansion) {
+  // 12 lines: gray carries 12 payload bits, flag codecs 11, Fibonacci 8.
+  EXPECT_EQ(make_codec_for_lines(CodecSpec{.name = "gray"}, 12)->width_in(), 12u);
+  EXPECT_EQ(make_codec_for_lines(CodecSpec{.name = "bus-invert"}, 12)->width_in(), 11u);
+  EXPECT_EQ(make_codec_for_lines(CodecSpec{.name = "t0"}, 12)->width_in(), 11u);
+  EXPECT_EQ(make_codec_for_lines(CodecSpec{.name = "fibonacci"}, 12)->width_in(), 8u);
+  // 11 Fibonacci lines fit no payload exactly (7 bits -> 10 lines, 8 -> 12).
+  EXPECT_THROW(make_codec_for_lines(CodecSpec{.name = "fibonacci"}, 11), std::invalid_argument);
+  EXPECT_THROW(make_codec_for_lines(CodecSpec{.name = "bus-invert"}, 1), std::invalid_argument);
+}
+
+TEST(Factory, CloneCopiesHistory) {
+  // clone() must deep-copy codec state: a clone taken mid-stream continues
+  // exactly like the original (the property CodedLink's receiver relies on).
+  CodecSpec spec{.name = "correlator", .period = 2};
+  auto a = make_codec(spec, 8);
+  (void)a->encode(0x12);
+  (void)a->encode(0x34);
+  auto b = a->clone();
+  for (std::uint64_t w : {0x56ull, 0x78ull, 0x9Aull}) {
+    EXPECT_EQ(a->encode(w), b->encode(w));
+  }
 }
 
 }  // namespace

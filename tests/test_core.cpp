@@ -373,4 +373,84 @@ TEST(Link, ReductionPercentHelpers) {
   EXPECT_DOUBLE_EQ(core::reduction_pct(0.0, 1.0), 0.0);
 }
 
+// --- CodedLink: atomic reset of stateful codec pairs -----------------------
+
+TEST(CodedLink, RoundTripAcrossAtomicReset) {
+  // Regression for the desync hazard: resetting a stateful tx/rx pair must
+  // be one operation. Interleave resets with traffic and require identity
+  // throughout (a one-sided reset breaks this for history-keeping codecs).
+  std::mt19937_64 rng(5);
+  for (const auto& name : coding::codec_names()) {
+    coding::CodecSpec spec;
+    spec.name = name;
+    spec.period = 2;
+    auto codec = coding::make_codec(spec, 8);
+    const std::size_t lines = codec->width_out();
+    const auto a = SignedPermutation::random(lines, rng, std::vector<std::uint8_t>(lines, 1));
+    core::CodedLink link(a, std::move(codec));
+    for (int round = 0; round < 4; ++round) {
+      for (int k = 0; k < 50; ++k) {
+        const std::uint64_t w = rng() & 0xFFu;
+        EXPECT_EQ(link.roundtrip(w), w) << name << " round " << round << " word " << k;
+      }
+      link.reset();
+    }
+  }
+}
+
+TEST(CodedLink, OneSidedResetDesyncsAndAtomicResetRecovers) {
+  // Demonstrate the failure mode CodedLink exists to prevent. Correlator,
+  // period 1: code = word ^ prev. After tx-only reset the decoder still
+  // holds its history, so the same word decodes wrongly.
+  coding::CodecSpec spec;
+  spec.name = "correlator";
+  core::CodedLink link(SignedPermutation::identity(4), coding::make_codec(spec, 4));
+  EXPECT_EQ(link.roundtrip(0x5), 0x5u);
+
+  link.transmitter().reset();        // the forbidden one-sided reset
+  EXPECT_NE(link.roundtrip(0x5), 0x5u);  // pair is now desynced
+
+  link.reset();                      // atomic: both endpoints together
+  EXPECT_EQ(link.roundtrip(0x5), 0x5u);
+  EXPECT_EQ(link.roundtrip(0xA), 0xAu);
+}
+
+TEST(CodedLink, ReceiverIsCloneOfTransmitter) {
+  // Constructing from a codec that has already seen traffic must still give
+  // a synchronized pair: the ctor resets before cloning.
+  coding::CodecSpec spec;
+  spec.name = "bus-invert";
+  auto codec = coding::make_codec(spec, 7);
+  (void)codec->encode(0x7F);
+  (void)codec->encode(0x00);
+  core::CodedLink link(SignedPermutation::identity(8), std::move(codec));
+  for (std::uint64_t w : {0x7Full, 0x00ull, 0x55ull, 0x2Aull}) {
+    EXPECT_EQ(link.roundtrip(w), w);
+  }
+}
+
+TEST(CodedLink, RejectsMismatchedAssignment) {
+  coding::CodecSpec spec;
+  spec.name = "bus-invert";  // 7 payload bits -> 8 lines
+  EXPECT_THROW(core::CodedLink(SignedPermutation::identity(7), coding::make_codec(spec, 7)),
+               std::invalid_argument);
+}
+
+TEST(Link, CodedChainMatchesArrayWidth) {
+  const auto geom = TsvArrayGeometry::itrs2018_min(3, 3);
+  core::Link link(geom);
+  std::mt19937_64 rng(11);
+  const auto a = SignedPermutation::random(9, rng, std::vector<std::uint8_t>(9, 1));
+
+  coding::CodecSpec spec;
+  spec.name = "bus-invert";  // 9 lines -> 8 payload bits
+  auto coded = link.coded(spec, a);
+  EXPECT_EQ(coded.payload_width(), 8u);
+  EXPECT_EQ(coded.line_width(), 9u);
+  for (std::uint64_t w = 0; w < 256; ++w) {
+    EXPECT_EQ(coded.roundtrip(w), w);
+  }
+  EXPECT_THROW(link.coded(spec, SignedPermutation::identity(4)), std::invalid_argument);
+}
+
 }  // namespace

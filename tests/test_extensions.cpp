@@ -165,6 +165,39 @@ TEST(GreedyDescent, DeterministicAndCompetitiveWithAnnealing) {
   EXPECT_NEAR(a.power / sa.power, 1.0, 0.05);  // within a few percent of SA
 }
 
+TEST(GreedyDescent, TerminatesOnNegativePowerLandscapes) {
+  // Regression for the sign-handling bug in the acceptance test: the original
+  // pure-relative margin `cand < cur * (1 - 1e-12)` flips direction when the
+  // current power is negative — every equal-power move then counts as an
+  // improvement and the descent cycles forever. A synthetic all-negative
+  // capacitance model makes every power on the landscape negative.
+  const std::size_t n = 4;
+  phys::Matrix cr(n, n);
+  phys::Matrix dc(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cr(i, j) = -1e-15 * static_cast<double>(1 + ((i + j) % 3));
+      dc(i, j) = i == j ? 0.0 : -2e-16;
+    }
+  }
+  const tsv::LinearCapacitanceModel model(std::move(cr), std::move(dc));
+
+  streams::GaussianAr1Stream src(n, 2.0, -0.5, 9);
+  stats::StatsAccumulator acc(n);
+  for (int i = 0; i < 20000; ++i) acc.add(src.next());
+  const auto st = acc.finish();
+
+  const double identity_power =
+      core::assignment_power(st, core::SignedPermutation::identity(n), model);
+  ASSERT_LT(identity_power, 0.0) << "landscape must be negative to exercise the bug";
+
+  const auto res = core::greedy_descent(st, model);  // pre-fix: never returns
+  EXPECT_LE(res.power, identity_power + 1e-25);
+  // The reported power must be the dense recomputation of the returned
+  // assignment, not a drifted incremental value.
+  EXPECT_DOUBLE_EQ(res.power, core::assignment_power(st, res.assignment, model));
+}
+
 TEST(GreedyDescent, HonoursInversionConstraints) {
   auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
   const core::Link link(geom);

@@ -109,6 +109,69 @@ TEST(AssignmentIo, RejectsDuplicatesAndBadLines) {
   EXPECT_THROW(core::load_assignment(clash), std::runtime_error);  // not a permutation
 }
 
+// --- Regression tests for parser hardening (found by the check harness) ----
+
+TEST(TraceIo, RejectsSignedWords) {
+  // std::stoull accepts a sign and silently wraps: "-1" used to parse as
+  // 2^64-1. Words are unsigned line patterns; signed tokens are malformed.
+  std::stringstream neg("-1\n");
+  EXPECT_THROW(streams::parse_trace(neg), std::runtime_error);
+  std::stringstream pos_sign("+5\n");
+  EXPECT_THROW(streams::parse_trace(pos_sign), std::runtime_error);
+  std::stringstream neg_hex("-0x10\n");
+  EXPECT_THROW(streams::parse_trace(neg_hex), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOverflowingWords) {
+  // One past 2^64-1; stoull throws out_of_range, reported as runtime_error.
+  std::stringstream ss("18446744073709551616\n");
+  EXPECT_THROW(streams::parse_trace(ss), std::runtime_error);
+  std::stringstream fits("18446744073709551615\n");
+  EXPECT_EQ(streams::parse_trace(fits).back(), ~std::uint64_t{0});
+}
+
+TEST(ModelIo, RejectsNonFiniteEntries) {
+  // operator>> happily parses "nan"/"inf"; a non-finite capacitance poisons
+  // every downstream power figure without ever failing loudly.
+  std::stringstream nan_entry("tsvcod-linear-capacitance v1\nn 1\nCR nan\nDC 0\n");
+  EXPECT_THROW(tsv::load_linear_model(nan_entry), std::runtime_error);
+  std::stringstream inf_entry("tsvcod-linear-capacitance v1\nn 1\nCR 1e-15\nDC inf\n");
+  EXPECT_THROW(tsv::load_linear_model(inf_entry), std::runtime_error);
+  std::stringstream overflow("tsvcod-linear-capacitance v1\nn 1\nCR 1e999\nDC 0\n");
+  EXPECT_THROW(tsv::load_linear_model(overflow), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTrailingRowData) {
+  std::stringstream ss("tsvcod-linear-capacitance v1\nn 1\nCR 1e-15 7\nDC 0\n");
+  EXPECT_THROW(tsv::load_linear_model(ss), std::runtime_error);
+}
+
+TEST(AssignmentIo, RejectsTruncatedMapLine) {
+  // A truncated line ("map 1") used to leave the failed extractions
+  // value-initialized to zero and silently parse as "bit 1 -> line 0".
+  std::stringstream ss("tsvcod-assignment v1\nn 2\nmap 0 1 0\nmap 1\n");
+  EXPECT_THROW(core::load_assignment(ss), std::runtime_error);
+  std::stringstream bare("tsvcod-assignment v1\nn 1\nmap\n");
+  EXPECT_THROW(core::load_assignment(bare), std::runtime_error);
+}
+
+TEST(AssignmentIo, RejectsTrailingMapData) {
+  std::stringstream ss("tsvcod-assignment v1\nn 1\nmap 0 0 0 junk\n");
+  EXPECT_THROW(core::load_assignment(ss), std::runtime_error);
+  std::stringstream bad_inv("tsvcod-assignment v1\nn 1\nmap 0 0 2\n");
+  EXPECT_THROW(core::load_assignment(bad_inv), std::runtime_error);
+}
+
+TEST(AssignmentIo, SaveLoadSaveIsByteIdentical) {
+  std::mt19937_64 rng(21);
+  const auto a = core::SignedPermutation::random(9, rng, std::vector<std::uint8_t>(9, 1));
+  std::stringstream first;
+  core::save_assignment(first, a);
+  std::stringstream second;
+  core::save_assignment(second, core::load_assignment(first));
+  EXPECT_EQ(first.str(), second.str());
+}
+
 TEST(AssignmentIo, GridRendering) {
   const auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
   core::SignedPermutation a({3, 2, 1, 0}, {1, 0, 0, 0});

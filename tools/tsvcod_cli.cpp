@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "coding/factory.hpp"
 #include "core/assignment_io.hpp"
 #include "core/link.hpp"
 #include "field/export.hpp"
@@ -96,6 +97,34 @@ tsv::LinearCapacitanceModel model_from(const Args& args) {
   return tsv::fit_from_analytic(geometry_from(args));
 }
 
+/// --codec and its sub-flags, when given. Width validation happens inside the
+/// factory, so a payload too wide for the named codec fails with a message
+/// naming the codec and its actual limit.
+std::optional<coding::CodecSpec> codec_from(const Args& args) {
+  if (!args.has("codec")) return std::nullopt;
+  coding::CodecSpec spec;
+  spec.name = args.str("codec");
+  spec.period = args.size_or("codec-period", 1);
+  spec.stride = args.size_or("codec-stride", 1);
+  spec.lambda = args.number_or("codec-lambda", 2.0);
+  return spec;
+}
+
+/// Statistics of the trace as seen on the TSV lines: raw words when no codec
+/// is configured, else the trace pushed through the encoder sized so its
+/// output occupies the array exactly.
+stats::SwitchingStats line_stats_from(const Args& args, const core::Link& link,
+                                      const std::vector<std::uint64_t>& words) {
+  const auto spec = codec_from(args);
+  if (!spec) return stats::compute_stats(words, link.width());
+  const auto codec = coding::make_codec_for_lines(*spec, link.width());
+  std::printf("codec                    : %s (%zu payload bits -> %zu lines)\n",
+              spec->name.c_str(), codec->width_in(), codec->width_out());
+  stats::StatsAccumulator acc(link.width());
+  for (const auto w : words) acc.add(codec->encode(w));
+  return acc.finish();
+}
+
 field::Preconditioner preconditioner_from(const Args& args) {
   const std::string name = args.str_or("preconditioner", "");
   if (name.empty()) return field::default_preconditioner();
@@ -145,7 +174,7 @@ int cmd_optimize(const Args& args) {
   const core::Link link(geom, model_from(args));
   const auto words = streams::load_trace(args.str("trace"));
   if (words.size() < 2) throw std::runtime_error("trace too short");
-  const auto st = stats::compute_stats(words, link.width());
+  const auto st = line_stats_from(args, link, words);
 
   core::OptimizeOptions opts;
   opts.seed = static_cast<unsigned>(args.size_or("seed", 1));
@@ -188,13 +217,30 @@ int cmd_evaluate(const Args& args) {
   const auto geom = geometry_from(args);
   const core::Link link(geom, model_from(args));
   const auto words = streams::load_trace(args.str("trace"));
-  const auto st = stats::compute_stats(words, link.width());
+  if (words.size() < 2) throw std::runtime_error("trace too short");
+  const auto st = line_stats_from(args, link, words);
   const auto a = core::load_assignment(args.str("assignment"));
   const auto base = core::random_assignment_power(st, link.model());
   const double p = link.power(st, a);
   std::printf("assignment power         : %10.1f aF\n", p * 1e18);
   std::printf("random assignment (mean) : %10.1f aF\n", base.mean * 1e18);
   std::printf("reduction                : %.1f %%\n", core::reduction_pct(base.mean, p));
+
+  if (const auto spec = codec_from(args)) {
+    // Correctness half of the claim: every payload word must survive the
+    // full encode -> assign -> lines -> unassign -> decode chain.
+    auto coded = link.coded(*spec, a);
+    const std::uint64_t payload_mask = streams::width_mask(coded.payload_width());
+    for (std::size_t k = 0; k < words.size(); ++k) {
+      const std::uint64_t w = words[k] & payload_mask;
+      const std::uint64_t got = coded.roundtrip(w);
+      if (got != w) {
+        throw std::runtime_error("coded round-trip FAILED at word " + std::to_string(k));
+      }
+    }
+    std::printf("coded round-trip         : OK (%zu words through %s)\n", words.size(),
+                spec->name.c_str());
+  }
   return 0;
 }
 
@@ -264,10 +310,15 @@ void usage() {
       "               [--trace-out FILE]    write a Chrome/Perfetto trace of the run\n"
       "               [--metrics-out FILE]  write the metrics registry as JSON\n"
       "                (TSVCOD_TRACE / TSVCOD_METRICS env set the same outputs)\n"
+      "               [--codec NAME]  push the trace through a low-power codec first\n"
+      "                (gray|correlator|bus-invert|coupling-invert|t0|fibonacci;\n"
+      "                 sub-flags --codec-period N --codec-stride N --codec-lambda X;\n"
+      "                 the codec is sized so its output fills the array exactly)\n"
       "extract      : [--backend analytic|field] [--cell-um C] --out FILE\n"
       "optimize     : [--model FILE] --trace FILE [--no-invert i,j] [--iterations N]\n"
-      "               [--seed S] [--out FILE]\n"
-      "evaluate     : [--model FILE] --trace FILE --assignment FILE\n"
+      "               [--seed S] [--codec NAME] [--out FILE]\n"
+      "evaluate     : [--model FILE] --trace FILE --assignment FILE [--codec NAME]\n"
+      "               (with --codec also verifies the encode->assign->decode chain)\n"
       "fieldmap     : [--probability P] [--cell-um C] --out PREFIX\n");
 }
 
