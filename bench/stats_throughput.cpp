@@ -1,0 +1,189 @@
+// Statistics-kernel throughput baseline: words/sec of the historical scalar
+// accumulator vs the bit-plane popcount kernel (single-threaded) vs the
+// chunked parallel reduction, at w in {16, 32, 64}, plus a bitwise identity
+// check between all three. Writes the BENCH JSON to BENCH_stats.json (or
+// --out PATH) so the bench trajectory has a committed perf baseline.
+//
+//   stats_throughput [--words N] [--reps R] [--threads K] [--out PATH]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "phys/matrix.hpp"
+#include "stats/bitplane.hpp"
+#include "stats/switching_stats.hpp"
+
+using namespace tsvcod;
+
+namespace {
+
+// The seed repo's accumulator loop, kept verbatim as the baseline the
+// tentpole is measured against (and must stay bit-identical to).
+stats::SwitchingStats scalar_stats(const std::vector<std::uint64_t>& words, std::size_t width) {
+  const std::uint64_t mask = width < 64 ? (std::uint64_t{1} << width) - 1 : ~std::uint64_t{0};
+  std::vector<double> ones(width, 0.0), self(width, 0.0);
+  phys::Matrix cross(width, width);
+  std::vector<int> db(width);
+  std::uint64_t prev = 0;
+  std::size_t samples = 0;
+  for (std::uint64_t raw : words) {
+    const std::uint64_t word = raw & mask;
+    for (std::size_t i = 0; i < width; ++i) {
+      if ((word >> i) & 1u) ones[i] += 1.0;
+    }
+    if (samples > 0) {
+      for (std::size_t i = 0; i < width; ++i) {
+        db[i] = static_cast<int>((word >> i) & 1u) - static_cast<int>((prev >> i) & 1u);
+      }
+      for (std::size_t i = 0; i < width; ++i) {
+        if (db[i] == 0) continue;
+        self[i] += 1.0;
+        for (std::size_t j = i + 1; j < width; ++j) {
+          if (db[j] == 0) continue;
+          cross(i, j) += static_cast<double>(db[i] * db[j]);
+        }
+      }
+    }
+    prev = word;
+    ++samples;
+  }
+  stats::SwitchingStats s;
+  s.width = width;
+  s.transitions = samples - 1;
+  const double nt = static_cast<double>(s.transitions);
+  const double nw = static_cast<double>(samples);
+  s.self.resize(width);
+  s.prob_one.resize(width);
+  s.coupling = phys::Matrix(width, width);
+  for (std::size_t i = 0; i < width; ++i) {
+    s.self[i] = self[i] / nt;
+    s.prob_one[i] = ones[i] / nw;
+    s.coupling(i, i) = s.self[i];
+    for (std::size_t j = i + 1; j < width; ++j) {
+      const double c = cross(i, j) / nt;
+      s.coupling(i, j) = c;
+      s.coupling(j, i) = c;
+    }
+  }
+  return s;
+}
+
+bool identical(const stats::SwitchingStats& a, const stats::SwitchingStats& b) {
+  if (a.width != b.width || a.transitions != b.transitions) return false;
+  for (std::size_t i = 0; i < a.width; ++i) {
+    if (a.self[i] != b.self[i] || a.prob_one[i] != b.prob_one[i]) return false;
+    for (std::size_t j = 0; j < a.width; ++j) {
+      if (a.coupling(i, j) != b.coupling(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+// Sticky-toggle traffic: denser than pure noise in the cross terms, which is
+// the representative (and worst) case for the pair loops.
+std::vector<std::uint64_t> make_trace(std::size_t width, std::size_t n) {
+  const std::uint64_t mask = width < 64 ? (std::uint64_t{1} << width) - 1 : ~std::uint64_t{0};
+  std::mt19937_64 rng(99);
+  std::vector<std::uint64_t> words(n);
+  std::uint64_t cur = rng();
+  for (auto& w : words) {
+    cur ^= rng() & rng();
+    w = cur & mask;
+  }
+  return words;
+}
+
+template <typename Fn>
+double best_words_per_sec(std::size_t words, int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (secs > 0.0) best = std::max(best, static_cast<double>(words) / secs);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 1u << 18;
+  int reps = 5;
+  int threads = bench::env_threads();
+  std::string out = "BENCH_stats.json";
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "stats_throughput: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--words")) {
+      n = std::stoull(next("--words"));
+    } else if (!std::strcmp(argv[i], "--reps")) {
+      reps = std::stoi(next("--reps"));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      threads = std::stoi(next("--threads"));
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out = next("--out");
+    } else {
+      std::fprintf(stderr, "usage: stats_throughput [--words N] [--reps R] [--threads K] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (n < 2) n = 2;
+  if (threads < 1) threads = 1;
+
+  bench::print_header("Statistics kernel throughput",
+                      "Eq. 1-3 census cost: scalar O(w^2 FP)/word vs bit-plane popcounts");
+  std::printf("%zu words, best of %d reps, parallel at %d thread(s)\n\n", n, reps, threads);
+  std::printf("%6s %16s %16s %16s %10s %10s %6s\n", "width", "scalar_w/s", "bitplane_w/s",
+              "parallel_w/s", "speedup", "par_spd", "ident");
+
+  std::string rows;
+  bool all_identical = true;
+  for (const std::size_t width : {std::size_t{16}, std::size_t{32}, std::size_t{64}}) {
+    const auto words = make_trace(width, n);
+
+    stats::SwitchingStats ref, bp, par;
+    const double scalar_wps = best_words_per_sec(n, reps, [&] { ref = scalar_stats(words, width); });
+    const double bitplane_wps =
+        best_words_per_sec(n, reps, [&] { bp = stats::compute_stats(words, width, 1); });
+    const double parallel_wps =
+        best_words_per_sec(n, reps, [&] { par = stats::compute_stats(words, width, threads); });
+
+    const bool ident = identical(ref, bp) && identical(ref, par);
+    all_identical = all_identical && ident;
+    const double speedup = scalar_wps > 0 ? bitplane_wps / scalar_wps : 0.0;
+    const double par_speedup = scalar_wps > 0 ? parallel_wps / scalar_wps : 0.0;
+    std::printf("%6zu %16.3e %16.3e %16.3e %9.1fx %9.1fx %6s\n", width, scalar_wps, bitplane_wps,
+                parallel_wps, speedup, par_speedup, ident ? "yes" : "NO");
+
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"width\": %zu, \"scalar_words_per_sec\": %.6e, "
+                  "\"bitplane_words_per_sec\": %.6e, \"parallel_words_per_sec\": %.6e, "
+                  "\"speedup_bitplane\": %.3f, \"speedup_parallel\": %.3f, "
+                  "\"bit_identical\": %s}",
+                  rows.empty() ? "" : ",\n", width, scalar_wps, bitplane_wps, parallel_wps,
+                  speedup, par_speedup, ident ? "true" : "false");
+    rows += row;
+  }
+
+  std::ofstream f(out);
+  f << "{\n  \"bench\": \"stats_throughput\",\n  \"words\": " << n
+    << ",\n  \"reps\": " << reps << ",\n  \"threads\": " << threads
+    << ",\n  \"results\": [\n" << rows << "\n  ]\n}\n";
+  f.close();
+  std::printf("\nBENCH {\"bench\": \"stats_throughput\", \"out\": \"%s\", \"bit_identical\": %s}\n",
+              out.c_str(), all_identical ? "true" : "false");
+  return all_identical ? 0 : 1;
+}

@@ -301,8 +301,41 @@ struct StatsCase {
 StatsCase gen_stats_case(Rng& rng) {
   StatsCase sc;
   sc.width = 1 + rng.below(64);
-  sc.words = gen_trace(rng, sc.width, 2 + rng.below(200));
+  // Lengths straddle the bit-plane kernel's 64-transition block boundary:
+  // short all-scalar-tail streams, exact multiples of 64 transitions, and
+  // off-by-one partial tails all show up with real probability.
+  switch (rng.below(4)) {
+    case 0: sc.words = gen_trace(rng, sc.width, 2 + rng.below(64)); break;
+    case 1: sc.words = gen_trace(rng, sc.width, 65 + 64 * rng.below(4)); break;  // n%64 == 1 tail-free
+    case 2: sc.words = gen_trace(rng, sc.width, 64 + 64 * rng.below(4) + rng.below(3)); break;
+    default: sc.words = gen_trace(rng, sc.width, 2 + rng.below(300)); break;
+  }
   return sc;
+}
+
+/// Bitwise comparison of two SwitchingStats (the integer-counter contract:
+/// not "close", *identical*).
+std::optional<std::string> stats_bitwise_diff(const stats::SwitchingStats& a,
+                                              const stats::SwitchingStats& b,
+                                              const char* label) {
+  const auto fail = [&](const char* what, std::size_t i, std::size_t j, double ga, double gb) {
+    std::ostringstream os;
+    os.precision(17);
+    os << label << ": " << what << '[' << i << "][" << j << "] differs: " << ga << " vs " << gb;
+    return os.str();
+  };
+  if (a.width != b.width) return std::string(label) + ": width differs";
+  if (a.transitions != b.transitions) return std::string(label) + ": transitions differ";
+  for (std::size_t i = 0; i < a.width; ++i) {
+    if (a.prob_one[i] != b.prob_one[i]) return fail("prob_one", i, i, a.prob_one[i], b.prob_one[i]);
+    if (a.self[i] != b.self[i]) return fail("self", i, i, a.self[i], b.self[i]);
+    for (std::size_t j = 0; j < a.width; ++j) {
+      if (a.coupling(i, j) != b.coupling(i, j)) {
+        return fail("coupling", i, j, a.coupling(i, j), b.coupling(i, j));
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<std::string> check_stats_case(const StatsCase& sc) {
@@ -356,6 +389,16 @@ std::optional<std::string> check_stats_case(const StatsCase& sc) {
       const double want = cross(i, j) / nt;
       if (got.coupling(i, j) != want) return fail("coupling", i, j, got.coupling(i, j), want);
       if (got.coupling(j, i) != want) return fail("coupling-sym", j, i, got.coupling(j, i), want);
+    }
+  }
+
+  // The one-shot chunked reduction must be bitwise identical to the
+  // streaming accumulator at every thread count (integer counters make the
+  // chunk merge exact, so chunk boundaries cannot show through).
+  for (const int threads : {1, 2, 5}) {
+    const auto par = stats::compute_stats(sc.words, w, threads);
+    if (auto diff = stats_bitwise_diff(par, got, "compute_stats")) {
+      return "threads=" + std::to_string(threads) + " " + *diff;
     }
   }
   return std::nullopt;

@@ -18,9 +18,12 @@ stats::SwitchingStats Link::measure(streams::WordStream& stream, std::size_t sam
   if (stream.width() != width()) {
     throw std::invalid_argument("Link::measure: stream width does not match the array");
   }
-  stats::StatsAccumulator acc(width());
-  for (std::size_t i = 0; i < samples; ++i) acc.add(stream.next());
-  return acc.finish();
+  // Streams generate sequentially, but the reduction does not have to:
+  // materialize the trace and hand it to the chunked bit-plane kernel
+  // (bit-identical to feeding an accumulator word by word).
+  std::vector<std::uint64_t> words(samples);
+  for (auto& w : words) w = stream.next();
+  return stats::compute_stats(words, width());
 }
 
 double Link::power(const stats::SwitchingStats& bit_stats, const SignedPermutation& a) const {

@@ -1,11 +1,20 @@
 #include "stats/subset.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace tsvcod::stats {
 
 SwitchingStats subset_stats(const SwitchingStats& source, std::span<const std::size_t> bits) {
   if (bits.empty()) throw std::invalid_argument("subset_stats: empty selection");
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] >= source.width) {
+      throw std::out_of_range("subset_stats: selected bit " + std::to_string(bits[i]) +
+                              " (selection position " + std::to_string(i) +
+                              ") is out of range for source width " +
+                              std::to_string(source.width));
+    }
+  }
   SwitchingStats out;
   out.width = bits.size();
   out.transitions = source.transitions;
@@ -13,7 +22,6 @@ SwitchingStats subset_stats(const SwitchingStats& source, std::span<const std::s
   out.prob_one.resize(bits.size());
   out.coupling = phys::Matrix(bits.size(), bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i] >= source.width) throw std::out_of_range("subset_stats: bit out of range");
     out.self[i] = source.self[bits[i]];
     out.prob_one[i] = source.prob_one[bits[i]];
     for (std::size_t j = 0; j < bits.size(); ++j) {

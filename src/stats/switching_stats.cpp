@@ -20,67 +20,11 @@ phys::Matrix SwitchingStats::t_matrix() const {
   return t;
 }
 
-StatsAccumulator::StatsAccumulator(std::size_t width)
-    : width_(width), ones_(width, 0.0), self_(width, 0.0), cross_(width, width) {
-  if (width == 0 || width > 64) {
-    throw std::invalid_argument("StatsAccumulator: width must be in [1, 64]");
-  }
-}
+StatsAccumulator::StatsAccumulator(std::size_t width) : kernel_(width) {}
 
-void StatsAccumulator::add(std::uint64_t word) {
-  if (width_ < 64) word &= (std::uint64_t{1} << width_) - 1;
-  for (std::size_t i = 0; i < width_; ++i) {
-    if ((word >> i) & 1u) ones_[i] += 1.0;
-  }
-  if (samples_ > 0) {
-    // db_i in {-1, 0, +1}; precompute as small ints.
-    thread_local std::vector<int> db;
-    db.assign(width_, 0);
-    for (std::size_t i = 0; i < width_; ++i) {
-      const int now = static_cast<int>((word >> i) & 1u);
-      const int before = static_cast<int>((prev_ >> i) & 1u);
-      db[i] = now - before;
-    }
-    for (std::size_t i = 0; i < width_; ++i) {
-      if (db[i] == 0) continue;
-      self_[i] += 1.0;
-      for (std::size_t j = i + 1; j < width_; ++j) {
-        if (db[j] == 0) continue;
-        cross_(i, j) += static_cast<double>(db[i] * db[j]);
-      }
-    }
-  }
-  prev_ = word;
-  ++samples_;
-}
-
-SwitchingStats StatsAccumulator::finish() const {
-  if (samples_ < 2) throw std::logic_error("StatsAccumulator: need at least two words");
-  SwitchingStats s;
-  s.width = width_;
-  s.transitions = samples_ - 1;
-  const double nt = static_cast<double>(s.transitions);
-  const double nw = static_cast<double>(samples_);
-  s.self.resize(width_);
-  s.prob_one.resize(width_);
-  s.coupling = phys::Matrix(width_, width_);
-  for (std::size_t i = 0; i < width_; ++i) {
-    s.self[i] = self_[i] / nt;
-    s.prob_one[i] = ones_[i] / nw;
-    s.coupling(i, i) = s.self[i];
-    for (std::size_t j = i + 1; j < width_; ++j) {
-      const double c = cross_(i, j) / nt;
-      s.coupling(i, j) = c;
-      s.coupling(j, i) = c;
-    }
-  }
-  return s;
-}
-
-SwitchingStats compute_stats(std::span<const std::uint64_t> words, std::size_t width) {
-  StatsAccumulator acc(width);
-  for (const auto w : words) acc.add(w);
-  return acc.finish();
+SwitchingStats compute_stats(std::span<const std::uint64_t> words, std::size_t width,
+                             int threads) {
+  return compute_counts(words, width, threads).finalize();
 }
 
 }  // namespace tsvcod::stats

@@ -1,7 +1,9 @@
 #include "stats/windowed.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace tsvcod::stats {
 
@@ -17,20 +19,26 @@ void WindowedAccumulator::add(std::uint64_t word) {
   // Decay everything, then add the new sample at weight 1.
   weight_words_ = weight_words_ * alpha_ + 1.0;
   for (auto& v : ones_) v *= alpha_;
-  for (std::size_t i = 0; i < width_; ++i) {
-    if ((word >> i) & 1u) ones_[i] += 1.0;
+  for (std::uint64_t v = word; v != 0; v &= v - 1) {
+    ones_[static_cast<std::size_t>(std::countr_zero(v))] += 1.0;
   }
   if (samples_ > 0) {
     weight_trans_ = weight_trans_ * alpha_ + 1.0;
     for (auto& v : self_) v *= alpha_;
     for (auto& v : cross_.data()) v *= alpha_;
-    for (std::size_t i = 0; i < width_; ++i) {
-      const int dbi = static_cast<int>((word >> i) & 1u) - static_cast<int>((prev_ >> i) & 1u);
-      if (dbi == 0) continue;
+    // Toggle-mask fast path: only toggled lines contribute, and for a
+    // toggled line db = +1 iff its new value is 1 — so walk the set bits of
+    // the XOR instead of every (i, j) pair. Adds the same +-1.0 increments
+    // to the same entries as the per-bit loop, hence bit-identical.
+    const std::uint64_t toggles = word ^ prev_;
+    for (std::uint64_t ti = toggles; ti != 0; ti &= ti - 1) {
+      const std::size_t i = static_cast<std::size_t>(std::countr_zero(ti));
       self_[i] += 1.0;
-      for (std::size_t j = i + 1; j < width_; ++j) {
-        const int dbj = static_cast<int>((word >> j) & 1u) - static_cast<int>((prev_ >> j) & 1u);
-        if (dbj != 0) cross_(i, j) += static_cast<double>(dbi * dbj);
+      const bool up_i = (word >> i) & 1u;
+      for (std::uint64_t tj = ti & (ti - 1); tj != 0; tj &= tj - 1) {
+        const std::size_t j = static_cast<std::size_t>(std::countr_zero(tj));
+        const bool up_j = (word >> j) & 1u;
+        cross_(i, j) += (up_i == up_j) ? 1.0 : -1.0;
       }
     }
   }
@@ -39,7 +47,10 @@ void WindowedAccumulator::add(std::uint64_t word) {
 }
 
 SwitchingStats WindowedAccumulator::snapshot() const {
-  if (samples_ < 2) throw std::logic_error("WindowedAccumulator: need at least two words");
+  if (samples_ < 2) {
+    throw std::logic_error("WindowedAccumulator: need at least 2 words to estimate transition statistics, have " +
+                           std::to_string(samples_) + " (width " + std::to_string(width_) + ")");
+  }
   SwitchingStats s;
   s.width = width_;
   s.transitions = samples_ - 1;

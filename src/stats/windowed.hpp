@@ -6,7 +6,8 @@
 // reconfigurable inverting-driver bank) instead needs statistics that track
 // the *recent* signal: this accumulator keeps exponentially-weighted
 // estimates of E{b}, E{db^2} and E{db_i db_j} with a configurable time
-// constant, in O(N^2) per word like the batch accumulator.
+// constant. The decay is O(N^2) per word, but the accumulation itself walks
+// only the toggled lines (toggle-mask fast path) like the batch kernel.
 
 #include <cstdint>
 #include <vector>

@@ -1,0 +1,297 @@
+// Tests for the block-transposed popcount statistics kernel: the 64x64 bit
+// transpose, the popcount cross-term identity, bitwise equality against the
+// historical scalar accumulator, block/tail edge cases and thread-count
+// invariance of the chunked parallel reduction.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "phys/matrix.hpp"
+#include "stats/bitplane.hpp"
+#include "stats/subset.hpp"
+#include "stats/switching_stats.hpp"
+
+namespace {
+
+using namespace tsvcod;
+
+// The seed repo's scalar accumulator, kept verbatim as the reference the
+// bit-plane kernel must reproduce bit for bit: per-word double-precision
+// +-1.0 accumulation over every line pair, divided once at the end.
+stats::SwitchingStats scalar_reference(const std::vector<std::uint64_t>& words,
+                                       std::size_t width) {
+  const std::uint64_t mask = width < 64 ? (std::uint64_t{1} << width) - 1 : ~std::uint64_t{0};
+  std::vector<double> ones(width, 0.0), self(width, 0.0);
+  phys::Matrix cross(width, width);
+  std::uint64_t prev = 0;
+  for (std::size_t t = 0; t < words.size(); ++t) {
+    const std::uint64_t word = words[t] & mask;
+    for (std::size_t i = 0; i < width; ++i) {
+      if ((word >> i) & 1u) ones[i] += 1.0;
+    }
+    if (t > 0) {
+      for (std::size_t i = 0; i < width; ++i) {
+        const int dbi = static_cast<int>((word >> i) & 1u) - static_cast<int>((prev >> i) & 1u);
+        if (dbi == 0) continue;
+        self[i] += 1.0;
+        for (std::size_t j = i + 1; j < width; ++j) {
+          const int dbj = static_cast<int>((word >> j) & 1u) - static_cast<int>((prev >> j) & 1u);
+          if (dbj != 0) cross(i, j) += static_cast<double>(dbi * dbj);
+        }
+      }
+    }
+    prev = word;
+  }
+  stats::SwitchingStats s;
+  s.width = width;
+  s.transitions = words.size() - 1;
+  const double nt = static_cast<double>(s.transitions);
+  const double nw = static_cast<double>(words.size());
+  s.self.resize(width);
+  s.prob_one.resize(width);
+  s.coupling = phys::Matrix(width, width);
+  for (std::size_t i = 0; i < width; ++i) {
+    s.self[i] = self[i] / nt;
+    s.prob_one[i] = ones[i] / nw;
+    s.coupling(i, i) = s.self[i];
+    for (std::size_t j = i + 1; j < width; ++j) {
+      const double c = cross(i, j) / nt;
+      s.coupling(i, j) = c;
+      s.coupling(j, i) = c;
+    }
+  }
+  return s;
+}
+
+// Exact (==, not NEAR) comparison: the whole point of integer counters.
+void expect_bitwise_equal(const stats::SwitchingStats& got, const stats::SwitchingStats& want) {
+  ASSERT_EQ(got.width, want.width);
+  EXPECT_EQ(got.transitions, want.transitions);
+  for (std::size_t i = 0; i < want.width; ++i) {
+    EXPECT_EQ(got.prob_one[i], want.prob_one[i]) << "prob_one[" << i << "]";
+    EXPECT_EQ(got.self[i], want.self[i]) << "self[" << i << "]";
+    for (std::size_t j = 0; j < want.width; ++j) {
+      EXPECT_EQ(got.coupling(i, j), want.coupling(i, j)) << "coupling(" << i << "," << j << ")";
+    }
+  }
+}
+
+// Structured traffic (not just white noise): uniform, sticky toggling,
+// constant runs and counter ramps, like the check harness generates.
+std::vector<std::uint64_t> make_trace(std::mt19937_64& rng, std::size_t width, std::size_t n,
+                                      int regime) {
+  const std::uint64_t mask = width < 64 ? (std::uint64_t{1} << width) - 1 : ~std::uint64_t{0};
+  std::vector<std::uint64_t> words(n);
+  std::uint64_t cur = rng() & mask;
+  for (std::size_t t = 0; t < n; ++t) {
+    switch (regime % 4) {
+      case 0: cur = rng(); break;                            // uniform noise
+      case 1: cur ^= rng() & rng() & rng(); break;           // sparse sticky toggles
+      case 2: if (rng() % 7 == 0) cur = rng(); break;        // constant runs
+      default: cur = static_cast<std::uint64_t>(t) * 3 + 1;  // counter ramp
+    }
+    words[t] = cur & mask;
+  }
+  return words;
+}
+
+TEST(Bitplane, Transpose64IsTheLsbTranspose) {
+  std::mt19937_64 rng(42);
+  std::uint64_t in[64], out[64];
+  for (auto& w : in) w = rng();
+  for (std::size_t i = 0; i < 64; ++i) out[i] = in[i];
+  stats::transpose64(out);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t t = 0; t < 64; ++t) {
+      ASSERT_EQ((out[i] >> t) & 1u, (in[t] >> i) & 1u) << "plane " << i << " bit " << t;
+    }
+  }
+}
+
+TEST(Bitplane, TransposeIsAnInvolution) {
+  std::mt19937_64 rng(43);
+  std::uint64_t a[64], orig[64];
+  for (std::size_t i = 0; i < 64; ++i) orig[i] = a[i] = rng();
+  stats::transpose64(a);
+  stats::transpose64(a);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(a[i], orig[i]);
+}
+
+// The popcount cross-term identity
+//   sum db_i db_j = popc(tg_i & tg_j) - 2 popc(tg_i & tg_j & (val_i ^ val_j))
+// at the extreme widths where masking and plane indexing can go wrong.
+class BitplaneGoldenWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitplaneGoldenWidths, MatchesScalarReferenceExactly) {
+  const std::size_t width = GetParam();
+  std::mt19937_64 rng(7 + width);
+  for (int regime = 0; regime < 4; ++regime) {
+    // 200 words: three full blocks plus a partial tail.
+    const auto words = make_trace(rng, width, 200, regime);
+    expect_bitwise_equal(stats::compute_stats(words, width, 1),
+                         scalar_reference(words, width));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitplaneGoldenWidths, ::testing::Values(1u, 63u, 64u));
+
+TEST(Bitplane, RandomTracesEveryWidthBitwiseEqual) {
+  std::mt19937_64 rng(11);
+  for (std::size_t width = 1; width <= 64; ++width) {
+    const std::size_t n = 2 + rng() % 300;
+    const auto words = make_trace(rng, width, n, static_cast<int>(width));
+    expect_bitwise_equal(stats::compute_stats(words, width, 1), scalar_reference(words, width));
+  }
+}
+
+TEST(Bitplane, BlockBoundaryEdgeCases) {
+  std::mt19937_64 rng(13);
+  // 64 words = 63 transitions (pure scalar tail, no block flushed);
+  // 65 words = exactly one block, empty tail; then the off-by-ones around
+  // the second boundary, and n % 64 != 0 partial tails.
+  for (const std::size_t n : {2u, 3u, 63u, 64u, 65u, 66u, 128u, 129u, 130u, 200u}) {
+    const auto words = make_trace(rng, 17, n, 1);
+    expect_bitwise_equal(stats::compute_stats(words, 17, 1), scalar_reference(words, 17));
+  }
+}
+
+TEST(Bitplane, BlockAndTailAccountingMatchesTheStreamLength) {
+  stats::BitplaneAccumulator acc(8);
+  std::mt19937_64 rng(17);
+  const auto words = make_trace(rng, 8, 131, 0);  // 130 transitions = 2 blocks + 2 tail
+  for (const auto w : words) acc.add(w);
+  EXPECT_EQ(acc.samples(), 131u);
+  EXPECT_EQ(acc.blocks_flushed(), 2u);
+  EXPECT_EQ(acc.pending(), 2u);
+  const auto counts = acc.counts();
+  EXPECT_EQ(counts.words, 131u);
+  EXPECT_EQ(counts.transitions, 130u);
+
+  stats::BitplaneAccumulator exact(8);
+  for (std::size_t i = 0; i < 65; ++i) exact.add(words[i]);
+  EXPECT_EQ(exact.blocks_flushed(), 1u);
+  EXPECT_EQ(exact.pending(), 0u);  // 64 transitions flush exactly one block
+}
+
+TEST(Bitplane, StreamingEqualsOneShot) {
+  std::mt19937_64 rng(19);
+  const auto words = make_trace(rng, 33, 500, 2);
+  stats::StatsAccumulator acc(33);
+  for (const auto w : words) acc.add(w);
+  expect_bitwise_equal(acc.finish(), stats::compute_stats(words, 33, 1));
+}
+
+TEST(Bitplane, FinishMidStreamDoesNotPerturbTheStream) {
+  // counts()/finish() are const snapshots: calling them between words must
+  // not change what a later finish() returns.
+  std::mt19937_64 rng(23);
+  const auto words = make_trace(rng, 12, 150, 1);
+  stats::StatsAccumulator probed(12), plain(12);
+  for (std::size_t t = 0; t < words.size(); ++t) {
+    probed.add(words[t]);
+    plain.add(words[t]);
+    if (t >= 2 && t % 37 == 0) (void)probed.finish();
+  }
+  expect_bitwise_equal(probed.finish(), plain.finish());
+}
+
+TEST(Bitplane, ThreadCountInvariance) {
+  std::mt19937_64 rng(29);
+  for (const std::size_t width : {5u, 32u, 64u}) {
+    const auto words = make_trace(rng, width, 20000, 1);  // big enough to really chunk
+    const auto t1 = stats::compute_stats(words, width, 1);
+    expect_bitwise_equal(stats::compute_stats(words, width, 2), t1);
+    expect_bitwise_equal(stats::compute_stats(words, width, 8), t1);
+  }
+}
+
+TEST(Bitplane, ManualChunkMergeEqualsWholeTrace) {
+  std::mt19937_64 rng(31);
+  const auto words = make_trace(rng, 21, 1000, 3);
+  auto whole = stats::compute_counts(words, 21, 1);
+
+  // Two chunks overlapping one word at the seam: the second is primed with
+  // the seam word so its bits are not double counted.
+  const std::size_t cut = 437;
+  stats::BitplaneAccumulator a(21), b(21);
+  for (std::size_t t = 0; t <= cut; ++t) a.add(words[t]);
+  b.prime(words[cut]);
+  for (std::size_t t = cut + 1; t < words.size(); ++t) b.add(words[t]);
+  auto merged = a.counts();
+  merged.merge(b.counts());
+  EXPECT_EQ(merged.words, whole.words);
+  EXPECT_EQ(merged.transitions, whole.transitions);
+  expect_bitwise_equal(merged.finalize(), whole.finalize());
+}
+
+TEST(Bitplane, PrimeRejectsAStartedStream) {
+  stats::BitplaneAccumulator acc(4);
+  acc.add(1);
+  EXPECT_THROW(acc.prime(2), std::logic_error);
+}
+
+TEST(Bitplane, TooFewWordsErrorNamesWidthAndCount) {
+  stats::StatsAccumulator acc(7);
+  acc.add(1);
+  try {
+    (void)acc.finish();
+    FAIL() << "finish() on one word must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("width 7"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("have 1"), std::string::npos) << e.what();
+  }
+  const std::vector<std::uint64_t> one{5};
+  try {
+    (void)stats::compute_stats(one, 9);
+    FAIL() << "compute_stats on one word must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("width 9"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("have 1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Bitplane, SubsetStatsValidatesBitIndices) {
+  std::mt19937_64 rng(37);
+  const auto words = make_trace(rng, 4, 50, 0);
+  const auto src = stats::compute_stats(words, 4, 1);
+  const std::vector<std::size_t> good{3, 0};
+  EXPECT_NO_THROW(stats::subset_stats(src, good));
+  const std::vector<std::size_t> bad{1, 9, 0};
+  try {
+    (void)stats::subset_stats(src, bad);
+    FAIL() << "out-of-range bit must throw";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("bit 9"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("width 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Bitplane, RecordsBlockAndTailCountersWhenMetricsEnabled) {
+  obs::reset_metrics();
+  obs::enable_metrics(true);
+  std::mt19937_64 rng(47);
+  const auto words = make_trace(rng, 8, 200, 0);  // 199 transitions: 3 blocks + 7 tail
+  (void)stats::compute_stats(words, 8, 1);
+  obs::enable_metrics(false);
+  const std::string json = obs::metrics_to_json();
+  obs::reset_metrics();
+  EXPECT_NE(json.find("\"stats.compute.count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stats.compute.words_total\":200"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stats.bitplane.blocks_total\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stats.compute.tail_words_total\":7"), std::string::npos) << json;
+}
+
+TEST(Bitplane, MasksBitsAboveWidthLikeTheScalarPath) {
+  std::mt19937_64 rng(41);
+  std::vector<std::uint64_t> raw(300), masked(300);
+  for (std::size_t t = 0; t < raw.size(); ++t) {
+    raw[t] = rng();
+    masked[t] = raw[t] & 0x1F;  // width 5
+  }
+  expect_bitwise_equal(stats::compute_stats(raw, 5, 1), stats::compute_stats(masked, 5, 1));
+}
+
+}  // namespace

@@ -2,6 +2,9 @@
 // extraction, and the derived mapping constructions.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <random>
 #include <vector>
 
 #include "core/link.hpp"
@@ -56,6 +59,81 @@ TEST(Windowed, Guards) {
   stats::WindowedAccumulator w(4, 10.0);
   w.add(1);
   EXPECT_THROW(w.snapshot(), std::logic_error);
+}
+
+TEST(Windowed, MasksStrayBitsLikeTheBatchAccumulator) {
+  // Regression for the toggle-mask fast path: garbage above the declared
+  // width must not leak into the estimates — exactly the batch accumulator's
+  // masking contract, checked bitwise (same adds, same order).
+  std::mt19937_64 rng(123);
+  stats::WindowedAccumulator raw(5, 300.0), masked(5, 300.0);
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t word = rng();
+    raw.add(word);
+    masked.add(word & 0x1F);
+  }
+  const auto a = raw.snapshot();
+  const auto b = masked.snapshot();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.self[i], b.self[i]);
+    EXPECT_EQ(a.prob_one[i], b.prob_one[i]);
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_EQ(a.coupling(i, j), b.coupling(i, j));
+  }
+}
+
+TEST(Windowed, FastPathMatchesPerBitReference) {
+  // The pre-fast-path implementation, kept as a reference: decay everything,
+  // then walk every (i, j) pair with per-bit db values. The fast path must
+  // reproduce it bit for bit (it performs the same +-1.0 adds).
+  const std::size_t width = 9;
+  const double half_life = 250.0;
+  const double alpha = std::exp2(-1.0 / half_life);
+  std::vector<double> ones(width, 0.0), self(width, 0.0);
+  std::vector<double> cross(width * width, 0.0);
+  double ww = 0.0, wt = 0.0;
+  std::uint64_t prev = 0;
+  bool first = true;
+
+  stats::WindowedAccumulator win(width, half_life);
+  std::mt19937_64 rng(321);
+  std::uint64_t cur = 0;
+  for (int t = 0; t < 3000; ++t) {
+    cur ^= rng() & rng();
+    const std::uint64_t word = cur & ((std::uint64_t{1} << width) - 1);
+    win.add(word);
+
+    ww = ww * alpha + 1.0;
+    for (auto& v : ones) v *= alpha;
+    for (std::size_t i = 0; i < width; ++i) {
+      if ((word >> i) & 1u) ones[i] += 1.0;
+    }
+    if (!first) {
+      wt = wt * alpha + 1.0;
+      for (auto& v : self) v *= alpha;
+      for (auto& v : cross) v *= alpha;
+      for (std::size_t i = 0; i < width; ++i) {
+        const int dbi = static_cast<int>((word >> i) & 1u) - static_cast<int>((prev >> i) & 1u);
+        if (dbi == 0) continue;
+        self[i] += 1.0;
+        for (std::size_t j = i + 1; j < width; ++j) {
+          const int dbj = static_cast<int>((word >> j) & 1u) - static_cast<int>((prev >> j) & 1u);
+          if (dbj != 0) cross[i * width + j] += static_cast<double>(dbi * dbj);
+        }
+      }
+    }
+    prev = word;
+    first = false;
+  }
+
+  const auto s = win.snapshot();
+  for (std::size_t i = 0; i < width; ++i) {
+    EXPECT_EQ(s.self[i], self[i] / wt) << "self[" << i << "]";
+    EXPECT_EQ(s.prob_one[i], ones[i] / ww) << "prob_one[" << i << "]";
+    for (std::size_t j = i + 1; j < width; ++j) {
+      EXPECT_EQ(s.coupling(i, j), cross[i * width + j] / wt)
+          << "coupling(" << i << "," << j << ")";
+    }
+  }
 }
 
 TEST(ThreadedExtraction, MatchesSerialExactly) {

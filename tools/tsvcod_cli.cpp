@@ -120,9 +120,11 @@ stats::SwitchingStats line_stats_from(const Args& args, const core::Link& link,
   const auto codec = coding::make_codec_for_lines(*spec, link.width());
   std::printf("codec                    : %s (%zu payload bits -> %zu lines)\n",
               spec->name.c_str(), codec->width_in(), codec->width_out());
-  stats::StatsAccumulator acc(link.width());
-  for (const auto w : words) acc.add(codec->encode(w));
-  return acc.finish();
+  // Encoding is stateful and stays sequential; the statistics reduction of
+  // the encoded trace goes through the chunked bit-plane kernel.
+  std::vector<std::uint64_t> coded(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) coded[i] = codec->encode(words[i]);
+  return stats::compute_stats(coded, link.width());
 }
 
 field::Preconditioner preconditioner_from(const Args& args) {
