@@ -1,8 +1,10 @@
 #include "check/oracles.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +19,7 @@
 #include "field/grid.hpp"
 #include "field/solver.hpp"
 #include "stats/switching_stats.hpp"
+#include "streams/binary_trace.hpp"
 #include "streams/trace_io.hpp"
 #include "streams/word_stream.hpp"
 #include "tsv/model_io.hpp"
@@ -753,6 +756,142 @@ std::string describe_io_case(const IoCase& io) {
          " <<<\n" + shown + "\n>>>";
 }
 
+// ---------------------------------------------------------------------------
+// Oracle 6: .tsvb binary format round-trips and byte-mutation fuzzing.
+// ---------------------------------------------------------------------------
+
+struct BinCase {
+  std::size_t width = 1;
+  std::vector<std::uint64_t> words;  ///< payload of the pristine image
+  std::uint64_t seed = 0;
+  std::vector<unsigned char> bytes;  ///< serialized image, possibly mutated
+  bool mutated = false;
+};
+
+BinCase gen_bin_case(Rng& rng) {
+  BinCase bc;
+  bc.width = 1 + rng.below(64);
+  bc.words = gen_trace(rng, bc.width, rng.below(40));
+  bc.seed = rng.u64();
+  std::ostringstream os;
+  streams::save_binary_trace(os, bc.words, bc.width, bc.seed);
+  const std::string s = os.str();
+  bc.bytes.assign(s.begin(), s.end());
+  bc.mutated = rng.chance(0.6);
+  if (bc.mutated) {
+    // Byte-level mutations hit the header (magic, version, width, count) and
+    // the payload (truncation, trailing bytes, overwide bits) alike.
+    const std::size_t edits = 1 + rng.below(8);
+    for (std::size_t k = 0; k < edits && !bc.bytes.empty(); ++k) {
+      switch (rng.below(4)) {
+        case 0:
+          bc.bytes[rng.below(bc.bytes.size())] ^=
+              static_cast<unsigned char>(1u << rng.below(8));
+          break;
+        case 1: bc.bytes.resize(rng.below(bc.bytes.size() + 1)); break;
+        case 2: bc.bytes.push_back(static_cast<unsigned char>(rng.below(256))); break;
+        default:
+          bc.bytes[rng.below(bc.bytes.size())] = static_cast<unsigned char>(rng.below(256));
+          break;
+      }
+    }
+  }
+  return bc;
+}
+
+std::optional<std::string> check_bin_case(const BinCase& bc) {
+  // Stage the image in an 8-aligned buffer, exactly what mmap guarantees.
+  std::vector<std::uint64_t> aligned((bc.bytes.size() + 7) / 8 + 1);
+  if (!bc.bytes.empty()) std::memcpy(aligned.data(), bc.bytes.data(), bc.bytes.size());
+  const std::span<const std::byte> image{reinterpret_cast<const std::byte*>(aligned.data()),
+                                         bc.bytes.size()};
+  streams::BinaryTraceView view;
+  try {
+    view = streams::parse_binary_trace(image);
+  } catch (const std::runtime_error& e) {
+    if (!bc.mutated) return std::string("pristine .tsvb image rejected: ") + e.what();
+    return std::nullopt;  // rejecting mutated input with runtime_error is the contract
+  } catch (const std::exception& e) {
+    return std::string("parser leaked a non-runtime_error exception: ") + e.what();
+  } catch (...) {
+    return "parser leaked a non-standard exception";
+  }
+
+  // Whatever the parser accepted must re-serialize byte-identically: the
+  // format is canonical (no optional padding, no ignored fields).
+  std::ostringstream os;
+  streams::save_binary_trace(os, view.words, view.header.width, view.header.seed);
+  const std::string again = os.str();
+  if (again.size() != bc.bytes.size() ||
+      !std::equal(again.begin(), again.end(), bc.bytes.begin(),
+                  [](char a, unsigned char b) { return static_cast<unsigned char>(a) == b; })) {
+    return "accepted image does not re-serialize byte-identically";
+  }
+
+  if (!bc.mutated) {
+    if (view.header.width != bc.width || view.header.seed != bc.seed ||
+        view.header.word_count != bc.words.size()) {
+      return "header fields did not round-trip";
+    }
+    // Format equivalence: the text pipeline and the binary pipeline must
+    // decode the same trace to the same words.
+    std::ostringstream ts;
+    streams::save_trace(ts, bc.words);
+    std::istringstream is(ts.str());
+    const auto from_text = streams::parse_trace(is);
+    if (from_text != std::vector<std::uint64_t>(view.words.begin(), view.words.end())) {
+      return "text and binary pipelines decode to different words";
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<BinCase> shrink_bin_case(const BinCase& bc) {
+  std::vector<BinCase> out;
+  if (!bc.mutated) {
+    // Pristine failure: shrink the word list and re-serialize.
+    for (const auto& [b, e] : subrange_candidates(bc.words.size(), 0)) {
+      BinCase c = bc;
+      if (b == e) {
+        c.words.erase(c.words.begin() + static_cast<std::ptrdiff_t>(b));
+      } else {
+        c.words.assign(bc.words.begin() + static_cast<std::ptrdiff_t>(b),
+                       bc.words.begin() + static_cast<std::ptrdiff_t>(e));
+      }
+      std::ostringstream os;
+      streams::save_binary_trace(os, c.words, c.width, c.seed);
+      const std::string s = os.str();
+      c.bytes.assign(s.begin(), s.end());
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+  // Mutated failure: shrink the byte image directly.
+  if (bc.bytes.size() > 1) {
+    BinCase c = bc;
+    c.bytes.resize(bc.bytes.size() / 2);
+    out.push_back(std::move(c));
+  }
+  for (std::size_t k = 0; k < bc.bytes.size() && k < 24; ++k) {
+    BinCase c = bc;
+    c.bytes.erase(c.bytes.begin() + static_cast<std::ptrdiff_t>(k));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::string describe_bin_case(const BinCase& bc) {
+  std::ostringstream os;
+  os << ".tsvb width=" << bc.width << (bc.mutated ? " (mutated)" : " (pristine)") << " seed=0x"
+     << std::hex << bc.seed << std::dec << " image=" << bc.bytes.size()
+     << " bytes\n  words=" << hex_words(bc.words) << "\n  bytes=" << std::hex;
+  for (std::size_t i = 0; i < bc.bytes.size() && i < 64; ++i) {
+    os << (i ? " " : "") << static_cast<unsigned>(bc.bytes[i]);
+  }
+  if (bc.bytes.size() > 64) os << " ...(" << std::dec << bc.bytes.size() << " total)";
+  return os.str();
+}
+
 }  // namespace
 
 Report oracle_codec_roundtrip(const RunOptions& opt) {
@@ -780,6 +919,11 @@ Report oracle_io_roundtrip(const RunOptions& opt) {
                                 describe_io_case);
 }
 
+Report oracle_binary_roundtrip(const RunOptions& opt) {
+  return check_property<BinCase>("binary_roundtrip", opt, gen_bin_case, check_bin_case,
+                                 shrink_bin_case, describe_bin_case);
+}
+
 std::vector<Report> run_all_oracles(const RunOptions& opt) {
   const auto sub = [&](std::uint64_t salt, std::size_t iterations) {
     RunOptions s = opt;
@@ -794,6 +938,7 @@ std::vector<Report> run_all_oracles(const RunOptions& opt) {
   // Field solves carry a dense LU each; keep their share of the budget small.
   out.push_back(oracle_field_consistency(sub(4, std::max<std::size_t>(2, opt.iterations / 10))));
   out.push_back(oracle_io_roundtrip(sub(5, opt.iterations)));
+  out.push_back(oracle_binary_roundtrip(sub(6, opt.iterations)));
   return out;
 }
 

@@ -1,5 +1,5 @@
 #pragma once
-// The five differential oracles of the correctness harness.
+// The six differential oracles of the correctness harness.
 //
 // Each oracle is an independent property run through check_property(): a
 // structured generator, a checker that compares two implementations of the
@@ -22,6 +22,9 @@
 //   io_roundtrip      save -> load -> save byte identity for trace/model/
 //                     assignment files, plus byte-mutation fuzzing of the
 //                     parsers (only std::runtime_error may escape).
+//   binary_roundtrip  .tsvb save -> parse -> save byte identity, text/binary
+//                     pipeline equivalence, plus byte-mutation fuzzing of the
+//                     header and payload (same escape contract).
 
 #include "check/check.hpp"
 
@@ -32,6 +35,7 @@ Report oracle_evaluator_drift(const RunOptions& opt);
 Report oracle_stats_reference(const RunOptions& opt);
 Report oracle_field_consistency(const RunOptions& opt);
 Report oracle_io_roundtrip(const RunOptions& opt);
+Report oracle_binary_roundtrip(const RunOptions& opt);
 
 /// Run every oracle with per-oracle iteration budgets scaled from
 /// `opt.iterations` (field solves are expensive, codec round-trips cheap).

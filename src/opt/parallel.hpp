@@ -23,6 +23,8 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,16 +46,23 @@ inline int hardware_threads() {
 
 /// Thread count used when a `threads` knob is 0: the TSVCOD_THREADS
 /// environment variable if set (its value 0 = all hardware threads), else 1.
+/// A malformed or negative TSVCOD_THREADS throws std::runtime_error naming
+/// the variable and its value instead of silently running serially.
 inline int default_threads() {
   static const int cached = [] {
     const char* env = std::getenv("TSVCOD_THREADS");
     if (!env || !*env) return 1;
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || v < 0) return 1;
+    if (end == env || *end != '\0' || v < 0 || v > 65536) return -1;  // sentinel: malformed
     if (v == 0) return hardware_threads();
     return static_cast<int>(v);
   }();
+  if (cached < 0) {
+    throw std::runtime_error(std::string("TSVCOD_THREADS='") + std::getenv("TSVCOD_THREADS") +
+                             "' is not a thread count (expected a non-negative integer; "
+                             "0 means all hardware threads)");
+  }
   return cached;
 }
 

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
 #include "opt/parallel.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TSVCOD_HAVE_AVX512_KERNEL 1
+#include <immintrin.h>
+#endif
 
 namespace tsvcod::stats {
 
@@ -18,13 +24,22 @@ constexpr std::uint64_t mask_of(std::size_t width) {
 }
 
 // ---------------------------------------------------------------------------
-// Plane reduction, compiled twice on x86-64: once for the baseline ISA and
-// once with the POPCNT instruction enabled, selected at runtime. The default
-// build targets the portable baseline (where std::popcount lowers to a ~15-op
-// SWAR sequence); virtually every x86-64 CPU since 2008 has POPCNT, and using
-// it is worth ~4x on this kernel — but it must stay a runtime decision so the
-// binary still runs anywhere. The body is forced inline into each wrapper so
-// the builtin popcount picks up the wrapper's ISA.
+// Block reduction, compiled in up to three ISA flavors on x86-64 and selected
+// once at runtime: a portable baseline (std::popcount lowers to a ~15-op SWAR
+// sequence), a POPCNT-instruction variant, and an AVX-512 variant that needs
+// F + DQ + VPOPCNTDQ (Ice Lake and newer, plus Zen 4+). The default build
+// targets the portable baseline so the binary still runs anywhere; the
+// dispatch is per 64-transition block, so every flavor consumes the same
+// masked words and produces the same exact integer counts — bit-identical by
+// construction, and cross-checked by the stats oracle.
+//
+// The AVX-512 flavor additionally restructures the block: instead of
+// materializing toggle words and transposing *two* 64x64 bit matrices, it
+// transposes only the value matrix and derives each toggle plane in plane
+// space — TG_i = VAL_i ^ ((VAL_i << 1) | prev_bit_i) — because a plane's bit
+// t-1 neighbor within the plane *is* the line's previous value. That halves
+// the (scalar) transpose work, and VPOPCNTQ reduces eight line pairs per
+// instruction in the O(w^2) pair loop.
 // ---------------------------------------------------------------------------
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -55,29 +70,151 @@ TSVCOD_ALWAYS_INLINE void reduce_block_body(std::size_t width, const std::uint64
   }
 }
 
-using ReduceFn = void (*)(std::size_t, const std::uint64_t*, const std::uint64_t*,
-                          SwitchingCounts&);
+/// One whole block: `block` is 64 masked post-transition words starting on a
+/// block boundary, `prev` the masked word preceding block[0].
+using BlockFn = void (*)(std::size_t, const std::uint64_t*, std::uint64_t, SwitchingCounts&);
 
-void reduce_block_portable(std::size_t width, const std::uint64_t* tg, const std::uint64_t* val,
+TSVCOD_ALWAYS_INLINE void block_reduce_scalar_body(std::size_t width, const std::uint64_t* block,
+                                                   std::uint64_t prev, SwitchingCounts& counts) {
+  // Toggle planes from consecutive XORs; value planes are the words
+  // themselves (for a toggled line, direction == new value).
+  std::uint64_t tg[64];
+  std::uint64_t val[64];
+  std::uint64_t before = prev;
+  for (std::size_t t = 0; t < 64; ++t) {
+    val[t] = block[t];
+    tg[t] = block[t] ^ before;
+    before = block[t];
+  }
+  transpose64(tg);
+  transpose64(val);
+  reduce_block_body(width, tg, val, counts);
+}
+
+void block_reduce_portable(std::size_t width, const std::uint64_t* block, std::uint64_t prev,
                            SwitchingCounts& counts) {
-  reduce_block_body(width, tg, val, counts);
+  block_reduce_scalar_body(width, block, prev, counts);
 }
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-__attribute__((target("popcnt"))) void reduce_block_popcnt(std::size_t width,
-                                                           const std::uint64_t* tg,
-                                                           const std::uint64_t* val,
+__attribute__((target("popcnt"))) void block_reduce_popcnt(std::size_t width,
+                                                           const std::uint64_t* block,
+                                                           std::uint64_t prev,
                                                            SwitchingCounts& counts) {
-  reduce_block_body(width, tg, val, counts);
+  block_reduce_scalar_body(width, block, prev, counts);
 }
 #endif
 
-ReduceFn reduce_fn() {
-  static const ReduceFn fn = [] {
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-    if (__builtin_cpu_supports("popcnt")) return &reduce_block_popcnt;
+#if defined(TSVCOD_HAVE_AVX512_KERNEL)
+__attribute__((target("avx512f,avx512dq,avx512vpopcntdq,popcnt"))) void block_reduce_avx512(
+    std::size_t width, const std::uint64_t* block, std::uint64_t prev, SwitchingCounts& counts) {
+  alignas(64) std::uint64_t val[64];
+  alignas(64) std::uint64_t tg[64];
+  std::memcpy(val, block, sizeof(val));
+  transpose64(val);
+  // Derive the toggle planes in plane space (see the dispatch comment): the
+  // bit below a plane bit is the line's previous value, with `prev`
+  // broadcasting the incoming word into every plane's bit 0. Planes at or
+  // above `width` are all-zero (the words are masked), so deriving all 64 is
+  // safe and keeps the loop branch-free.
+  for (std::size_t i = 0; i < 64; i += 8) {
+    const __m512i v = _mm512_load_si512(val + i);
+    __m512i below = _mm512_slli_epi64(v, 1);
+    below = _mm512_mask_or_epi64(below, static_cast<__mmask8>(prev >> i), below,
+                                 _mm512_set1_epi64(1));
+    _mm512_store_si512(tg + i, _mm512_xor_si512(v, below));
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= width; i += 8) {
+    const __m512i po = _mm512_popcnt_epi64(_mm512_load_si512(val + i));
+    const __m512i ps = _mm512_popcnt_epi64(_mm512_load_si512(tg + i));
+    _mm512_storeu_si512(counts.ones.data() + i,
+                        _mm512_add_epi64(_mm512_loadu_si512(counts.ones.data() + i), po));
+    _mm512_storeu_si512(counts.self.data() + i,
+                        _mm512_add_epi64(_mm512_loadu_si512(counts.self.data() + i), ps));
+  }
+  for (; i < width; ++i) {
+    counts.ones[i] += static_cast<std::uint64_t>(__builtin_popcountll(val[i]));
+    counts.self[i] += static_cast<std::uint64_t>(__builtin_popcountll(tg[i]));
+  }
+  if (width == 64) {
+    // Full-width pair loop with no scalar edges: the first vector of each row
+    // starts at the row's 8-aligned floor with the lanes j <= r zeroed — they
+    // land on unused lower-triangle cross slots and add 0.
+    for (std::size_t r = 0; r < 63; ++r) {
+      const std::uint64_t tgr = tg[r];
+      if (tgr == 0) continue;  // quiet line: every pair term is zero
+      const __m512i vtgr = _mm512_set1_epi64(static_cast<long long>(tgr));
+      const __m512i vvalr = _mm512_set1_epi64(static_cast<long long>(val[r]));
+      std::int64_t* row = counts.cross.data() + r * 64;
+      const std::size_t j0 = (r + 1) & ~std::size_t{7};
+      {
+        const __mmask8 keep = static_cast<__mmask8>(0xFFu << ((r + 1) - j0));
+        const __m512i both = _mm512_and_si512(vtgr, _mm512_load_si512(tg + j0));
+        const __m512i opp =
+            _mm512_and_si512(both, _mm512_xor_si512(vvalr, _mm512_load_si512(val + j0)));
+        __m512i cnt = _mm512_sub_epi64(_mm512_popcnt_epi64(both),
+                                       _mm512_slli_epi64(_mm512_popcnt_epi64(opp), 1));
+        cnt = _mm512_maskz_mov_epi64(keep, cnt);
+        _mm512_storeu_si512(row + j0, _mm512_add_epi64(_mm512_loadu_si512(row + j0), cnt));
+      }
+      for (std::size_t j = j0 + 8; j < 64; j += 8) {
+        const __m512i both = _mm512_and_si512(vtgr, _mm512_load_si512(tg + j));
+        const __m512i opp =
+            _mm512_and_si512(both, _mm512_xor_si512(vvalr, _mm512_load_si512(val + j)));
+        const __m512i cnt = _mm512_sub_epi64(_mm512_popcnt_epi64(both),
+                                             _mm512_slli_epi64(_mm512_popcnt_epi64(opp), 1));
+        _mm512_storeu_si512(row + j, _mm512_add_epi64(_mm512_loadu_si512(row + j), cnt));
+      }
+    }
+  } else {
+    // Narrower arrays: scalar peel to 8-alignment, vector middle, scalar
+    // tail. Vector stores stay strictly inside the row (j + 8 <= width).
+    for (std::size_t r = 0; r + 1 < width; ++r) {
+      const std::uint64_t tgr = tg[r];
+      if (tgr == 0) continue;
+      const std::uint64_t valr = val[r];
+      std::int64_t* row = counts.cross.data() + r * width;
+      std::size_t j = r + 1;
+      for (; j < width && (j & 7) != 0; ++j) {
+        const std::uint64_t both = tgr & tg[j];
+        if (both == 0) continue;
+        const int opposite = __builtin_popcountll(both & (valr ^ val[j]));
+        row[j] += __builtin_popcountll(both) - 2 * opposite;
+      }
+      const __m512i vtgr = _mm512_set1_epi64(static_cast<long long>(tgr));
+      const __m512i vvalr = _mm512_set1_epi64(static_cast<long long>(valr));
+      for (; j + 8 <= width; j += 8) {
+        const __m512i both = _mm512_and_si512(vtgr, _mm512_load_si512(tg + j));
+        const __m512i opp =
+            _mm512_and_si512(both, _mm512_xor_si512(vvalr, _mm512_load_si512(val + j)));
+        const __m512i cnt = _mm512_sub_epi64(_mm512_popcnt_epi64(both),
+                                             _mm512_slli_epi64(_mm512_popcnt_epi64(opp), 1));
+        _mm512_storeu_si512(row + j, _mm512_add_epi64(_mm512_loadu_si512(row + j), cnt));
+      }
+      for (; j < width; ++j) {
+        const std::uint64_t both = tgr & tg[j];
+        if (both == 0) continue;
+        const int opposite = __builtin_popcountll(both & (valr ^ val[j]));
+        row[j] += __builtin_popcountll(both) - 2 * opposite;
+      }
+    }
+  }
+}
+#endif  // TSVCOD_HAVE_AVX512_KERNEL
+
+BlockFn block_fn() {
+  static const BlockFn fn = [] {
+#if defined(TSVCOD_HAVE_AVX512_KERNEL)
+    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vpopcntdq")) {
+      return &block_reduce_avx512;
+    }
 #endif
-    return &reduce_block_portable;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("popcnt")) return &block_reduce_popcnt;
+#endif
+    return &block_reduce_portable;
   }();
   return fn;
 }
@@ -189,24 +326,40 @@ void BitplaneAccumulator::add(std::uint64_t word) {
   if (n_ == 64) flush_block();
 }
 
-void BitplaneAccumulator::flush_block() {
-  // Toggle planes from consecutive XORs; value planes are the words
-  // themselves (for a toggled line, direction == new value).
-  std::uint64_t tg[64];
-  std::uint64_t val[64];
-  std::uint64_t before = block_prev_;
-  for (std::size_t t = 0; t < 64; ++t) {
-    val[t] = block_[t];
-    tg[t] = block_[t] ^ before;
-    before = block_[t];
+void BitplaneAccumulator::add(std::span<const std::uint64_t> words) {
+  std::size_t k = 0;
+  const std::size_t n = words.size();
+  while (k < n) {
+    // On a block boundary with a full block available, reduce straight from
+    // the caller's buffer instead of staging 64 words through block_.
+    if (n_ == 0 && (samples_ > 0 || primed_) && n - k >= 64) {
+      const std::uint64_t* src = words.data() + k;
+      if (mask_ == ~std::uint64_t{0}) {
+        flush_from(src);
+      } else {
+        std::uint64_t masked[64];
+        for (std::size_t t = 0; t < 64; ++t) masked[t] = src[t] & mask_;
+        flush_from(masked);
+      }
+      samples_ += 64;
+      k += 64;
+    } else {
+      add(words[k++]);
+    }
   }
-  transpose64(tg);
-  transpose64(val);
-  reduce_fn()(width_, tg, val, counts_);
+}
+
+void BitplaneAccumulator::flush_block() {
+  flush_from(block_);
+  n_ = 0;
+}
+
+void BitplaneAccumulator::flush_from(const std::uint64_t* block) {
+  block_fn()(width_, block, block_prev_, counts_);
   counts_.words += 64;
   counts_.transitions += 64;
-  block_prev_ = block_[63];
-  n_ = 0;
+  block_prev_ = block[63];
+  prev_ = block_prev_;
   ++blocks_;
   if (obs::metrics_enabled()) obs::metric_add("stats.bitplane.blocks_total");
 }
@@ -241,15 +394,27 @@ SwitchingCounts BitplaneAccumulator::counts() const {
 
 SwitchingCounts compute_counts(std::span<const std::uint64_t> words, std::size_t width,
                                int threads) {
+  if (words.size() < 2 && !(width == 0 || width > 64)) {
+    throw_too_few_words(width, words.size());
+  }
+  return compute_counts_primed(false, 0, words, width, threads);
+}
+
+SwitchingCounts compute_counts_primed(bool primed, std::uint64_t prime,
+                                      std::span<const std::uint64_t> words, std::size_t width,
+                                      int threads) {
   if (width == 0 || width > 64) {
     throw std::invalid_argument("compute_counts: width must be in [1, 64]");
   }
-  if (words.size() < 2) throw_too_few_words(width, words.size());
+  if (words.empty()) return SwitchingCounts(width);
 
   obs::Span span("stats.compute");
   const auto t0 = std::chrono::steady_clock::now();
 
-  const std::size_t transitions = words.size() - 1;
+  // Virtual word sequence S: the prime word (when primed) followed by
+  // `words`. Transition t is S[t] -> S[t+1]; only unprimed chunk 0 counts
+  // S[0]'s one-bits, matching the streaming accumulator exactly.
+  const std::size_t transitions = words.size() - (primed ? 0 : 1);
   // One chunk per resolved thread, but never so many that a chunk drops
   // below a useful run of blocks; the merge is exact, so the chunk count
   // only affects speed, never the result.
@@ -258,31 +423,40 @@ SwitchingCounts compute_counts(std::span<const std::uint64_t> words, std::size_t
   const std::size_t chunks =
       std::clamp<std::size_t>(transitions / min_chunk_transitions, 1, k);
 
+  // Chunk c owns transitions [tb, te): it is primed with the seam word
+  // S[tb] (whose bits were already counted upstream) and then consumes
+  // S(tb, te]. Ones and transitions both partition exactly.
+  const auto run_chunk = [&](BitplaneAccumulator& acc, std::size_t tb, std::size_t te) {
+    if (primed) {
+      acc.prime(tb == 0 ? prime : words[tb - 1]);
+      acc.add(words.subspan(tb, te - tb));
+    } else {
+      if (tb == 0) {
+        acc.add(words[0]);
+      } else {
+        acc.prime(words[tb]);
+      }
+      acc.add(words.subspan(tb + 1, te - tb));
+    }
+  };
+
   std::uint64_t blocks = 0;
   std::uint64_t tail_words = 0;
   SwitchingCounts total(width);
   if (chunks == 1) {
     BitplaneAccumulator acc(width);
-    for (const auto w : words) acc.add(w);
+    run_chunk(acc, 0, transitions);
     total = acc.counts();
     blocks = acc.blocks_flushed();
     tail_words = acc.pending();
   } else {
-    // Chunk c owns transitions [tb, te): it is primed with the seam word
-    // `words[tb]` (whose bits were already counted by chunk c-1) and then
-    // consumes words (tb, te]. Ones and transitions both partition exactly.
     std::vector<SwitchingCounts> partial(chunks);
     std::vector<std::pair<std::uint64_t, std::uint64_t>> meta(chunks);
     opt::parallel_for(chunks, static_cast<int>(k), [&](std::size_t c) {
       const std::size_t tb = transitions * c / chunks;
       const std::size_t te = transitions * (c + 1) / chunks;
       BitplaneAccumulator acc(width);
-      if (c == 0) {
-        acc.add(words[0]);
-      } else {
-        acc.prime(words[tb]);
-      }
-      for (std::size_t t = tb; t < te; ++t) acc.add(words[t + 1]);
+      run_chunk(acc, tb, te);
       partial[c] = acc.counts();
       meta[c] = {acc.blocks_flushed(), acc.pending()};
     });

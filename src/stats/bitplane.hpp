@@ -88,6 +88,12 @@ class BitplaneAccumulator {
   /// Feed the next word of the stream.
   void add(std::uint64_t word);
 
+  /// Feed a run of words. Full 64-transition blocks that start on a block
+  /// boundary are reduced straight from `words` (no copy through the staging
+  /// buffer at width 64), which is what the zero-copy mmap ingestion path
+  /// rides on; results are bit-identical to word-by-word add().
+  void add(std::span<const std::uint64_t> words);
+
   /// Counts gathered so far (flushed blocks + buffered scalar tail).
   SwitchingCounts counts() const;
 
@@ -102,6 +108,7 @@ class BitplaneAccumulator {
 
  private:
   void flush_block();
+  void flush_from(const std::uint64_t* block);  ///< 64 masked words, boundary-aligned
 
   std::size_t width_;
   std::uint64_t mask_;
@@ -121,5 +128,18 @@ class BitplaneAccumulator {
 /// exact integers the result is bit-identical at every thread count.
 SwitchingCounts compute_counts(std::span<const std::uint64_t> words, std::size_t width,
                                int threads = 1);
+
+/// Generalization used by chunked trace ingestion: when `primed`, the
+/// transition chain is seeded with `prime` (the last word of the preceding
+/// chunk, whose one-bits that chunk already counted) and every word of
+/// `words` is a transition target. Unprimed with `primed == false` this is
+/// compute_counts, except that 0- and 1-word spans yield partial counts
+/// instead of throwing — per-chunk counts merge into a whole-trace total, so
+/// the >= 2 words rule only applies to the final counts (finalize() enforces
+/// it). Bit-identical at every thread count, and merging the counts of a
+/// chunk sequence linked by seam words equals the counts of the whole trace.
+SwitchingCounts compute_counts_primed(bool primed, std::uint64_t prime,
+                                      std::span<const std::uint64_t> words, std::size_t width,
+                                      int threads = 1);
 
 }  // namespace tsvcod::stats

@@ -1,0 +1,50 @@
+#include "stats/ingest.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace tsvcod::stats {
+
+SwitchingCounts compute_counts(streams::WordSource& source, std::size_t width, int threads) {
+  obs::Span span("stats.ingest");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  source.reset();
+  SwitchingCounts total(width);
+  bool primed = false;
+  std::uint64_t prime = 0;
+  std::uint64_t words_total = 0;
+  for (auto chunk = source.next_chunk(); !chunk.empty(); chunk = source.next_chunk()) {
+    total.merge(compute_counts_primed(primed, prime, chunk, width, threads));
+    prime = chunk.back();
+    primed = true;
+    words_total += chunk.size();
+  }
+
+  if (obs::metrics_enabled()) {
+    obs::metric_add("trace.ingest.count");
+    obs::metric_add("trace.ingest.words_total", words_total);
+    obs::metric_add("trace.ingest.bytes_total", source.bytes());
+  }
+  if (span.active()) {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (secs > 0.0) {
+      obs::counter("trace.ingest.words_per_sec", static_cast<double>(words_total) / secs);
+      obs::counter("trace.ingest.bytes_per_sec", static_cast<double>(source.bytes()) / secs);
+    }
+    std::ostringstream os;
+    os << "\"source\":\"" << source.source() << "\",\"words\":" << words_total
+       << ",\"width\":" << width;
+    span.set_args(os.str());
+  }
+  return total;
+}
+
+SwitchingStats compute_stats(streams::WordSource& source, std::size_t width, int threads) {
+  return compute_counts(source, width, threads).finalize();
+}
+
+}  // namespace tsvcod::stats

@@ -1,0 +1,29 @@
+#pragma once
+// WordSource -> switching statistics: the zero-copy ingestion entry point.
+//
+// Chunks from the source feed the chunked bit-plane reduction directly —
+// an mmap'd binary trace goes file pages -> kernel with no intermediate
+// vector. Consecutive chunks are linked by priming each one with the last
+// word of its predecessor (whose one-bits the predecessor already counted),
+// so the merged counts equal the counts of the whole trace exactly and the
+// result is bit-identical to materializing the trace and calling
+// compute_stats on it, at every width and thread count.
+//
+// Observability (when enabled): deterministic counters
+// trace.ingest.{count,words_total,bytes_total} on the metrics registry, and
+// timing-based trace.ingest.{words_per_sec,bytes_per_sec} samples on the
+// trace counter track.
+
+#include "stats/bitplane.hpp"
+#include "stats/switching_types.hpp"
+#include "streams/word_source.hpp"
+
+namespace tsvcod::stats {
+
+/// Exact counts of the whole source. The source is reset first.
+SwitchingCounts compute_counts(streams::WordSource& source, std::size_t width, int threads = 1);
+
+/// finalize()d counts; needs >= 2 words in the source.
+SwitchingStats compute_stats(streams::WordSource& source, std::size_t width, int threads = 1);
+
+}  // namespace tsvcod::stats

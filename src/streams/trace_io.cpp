@@ -1,6 +1,7 @@
 #include "streams/trace_io.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,6 +12,10 @@ std::vector<std::uint64_t> parse_trace(std::istream& is, const std::string& sour
   std::string line;
   std::size_t lineno = 0;
   std::size_t line_offset = 0;  // byte offset of the current line's start
+  std::optional<std::uint64_t> declared;
+  // Line endings: the token trim strips a CR, so CRLF files parse exactly
+  // like LF files, and getline delivers a final line without a trailing
+  // newline like any other — both covered by regression tests in test_io.
   while (std::getline(is, line)) {
     ++lineno;
     const std::size_t this_offset = line_offset;
@@ -19,6 +24,20 @@ std::vector<std::uint64_t> parse_trace(std::istream& is, const std::string& sour
     if (pos == std::string::npos || line[pos] == '#') continue;
     const std::string tok = line.substr(pos, line.find_last_not_of(" \t\r") - pos + 1);
     try {
+      // Optional "words <N>" count directive (save_trace emits one): lets
+      // the parser reject a truncated or padded file instead of silently
+      // folding a short read into statistics.
+      if (tok.rfind("words", 0) == 0 && (tok.size() == 5 || tok[5] == ' ' || tok[5] == '\t')) {
+        if (declared) throw std::invalid_argument("duplicate words directive");
+        const auto vpos = tok.find_first_not_of(" \t", 5);
+        if (vpos == std::string::npos) throw std::invalid_argument("words directive needs a count");
+        const std::string count = tok.substr(vpos);
+        if (count[0] == '-' || count[0] == '+') throw std::invalid_argument("signed count");
+        std::size_t used = 0;
+        declared = std::stoull(count, &used, 10);
+        if (used != count.size()) throw std::invalid_argument("trailing characters");
+        continue;
+      }
       // std::stoull silently accepts a sign and wraps "-1" to 2^64-1; words
       // are unsigned line patterns, so any signed token is malformed.
       if (tok[0] == '-' || tok[0] == '+') throw std::invalid_argument("signed word");
@@ -33,6 +52,11 @@ std::vector<std::uint64_t> parse_trace(std::istream& is, const std::string& sour
                                std::to_string(this_offset + pos) + "): '" + tok + "'");
     }
   }
+  if (declared && *declared != words.size()) {
+    throw std::runtime_error("trace_io: " + source + ": declared word count " +
+                             std::to_string(*declared) + " disagrees with the actual " +
+                             std::to_string(words.size()) + " words (truncated or padded file)");
+  }
   return words;
 }
 
@@ -43,7 +67,8 @@ std::vector<std::uint64_t> load_trace(const std::string& path) {
 }
 
 void save_trace(std::ostream& os, std::span<const std::uint64_t> words) {
-  os << "# tsvcod word trace, one word per line\n" << std::hex;
+  os << "# tsvcod word trace, one word per line\n";
+  os << "words " << std::dec << words.size() << '\n' << std::hex;
   for (const auto w : words) os << "0x" << w << '\n';
 }
 

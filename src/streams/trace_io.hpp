@@ -4,7 +4,10 @@
 // Lets users feed *real* captured bus traces (the paper used camera images
 // and smartphone sensor logs) into the optimizer without recompiling:
 // one word per line, hexadecimal with 0x prefix or decimal, '#' comments
-// and blank lines ignored.
+// and blank lines ignored. CRLF line endings and a final line without a
+// trailing newline parse identically to plain LF. An optional `words <N>`
+// directive (at most one; save_trace emits it) declares the word count, and
+// a file whose actual count disagrees is rejected as truncated/padded.
 
 #include <iosfwd>
 #include <string>

@@ -1,0 +1,94 @@
+#pragma once
+// Uniform chunked access to word traces: text files, binary (.tsvb) files
+// and in-memory vectors all surface as a WordSource, so Link::measure, the
+// CLI and the statistics ingestion path consume any of them identically.
+//
+// Unlike WordStream (one word per simulated clock cycle, infinite replay), a
+// WordSource is a *finite recorded trace* handed out as large contiguous
+// spans. Chunks never overlap; the consumer carries the seam word between
+// chunks itself (stats::compute_counts_primed does exactly that), so a
+// source backed by an mmap'd binary trace is consumed zero-copy.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "streams/binary_trace.hpp"
+
+namespace tsvcod::streams {
+
+class WordSource {
+ public:
+  virtual ~WordSource() = default;
+
+  /// Declared line width in bits (1..64).
+  virtual std::size_t width() const = 0;
+  /// Total words in the trace.
+  virtual std::uint64_t size() const = 0;
+  /// Bytes of backing store (file or vector) — the ingest byte counters.
+  virtual std::uint64_t bytes() const = 0;
+  /// Human-readable origin for error messages (a path for file sources).
+  virtual const std::string& source() const = 0;
+
+  /// Next contiguous run of words; empty exactly once the trace is
+  /// exhausted. Spans stay valid for the lifetime of the source.
+  virtual std::span<const std::uint64_t> next_chunk() = 0;
+  /// Rewind so next_chunk() starts over from the first word.
+  virtual void reset() = 0;
+};
+
+/// An owned in-memory trace.
+class VectorWordSource final : public WordSource {
+ public:
+  VectorWordSource(std::vector<std::uint64_t> words, std::size_t width,
+                   std::string source = "<memory>");
+
+  std::size_t width() const override { return width_; }
+  std::uint64_t size() const override { return words_.size(); }
+  std::uint64_t bytes() const override { return words_.size() * sizeof(std::uint64_t); }
+  const std::string& source() const override { return source_; }
+  std::span<const std::uint64_t> next_chunk() override;
+  void reset() override { done_ = false; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t width_;
+  std::string source_;
+  bool done_ = false;
+};
+
+/// A memory-mapped .tsvb file. By default the whole payload is one chunk
+/// (maximally parallel, zero-copy); `chunk_words` caps the chunk size, which
+/// the tests use to drive the seam-word priming path hard.
+class MappedTraceSource final : public WordSource {
+ public:
+  explicit MappedTraceSource(const std::string& path, std::size_t chunk_words = 0);
+
+  const BinaryTraceHeader& header() const { return map_.header(); }
+  std::size_t width() const override { return map_.header().width; }
+  std::uint64_t size() const override { return map_.words().size(); }
+  std::uint64_t bytes() const override { return map_.bytes(); }
+  const std::string& source() const override { return map_.path(); }
+  std::span<const std::uint64_t> next_chunk() override;
+  void reset() override { pos_ = 0; }
+
+ private:
+  MappedTrace map_;
+  std::size_t chunk_words_;
+  std::size_t pos_ = 0;
+};
+
+/// Open `path` as whichever trace format it is: the .tsvb magic selects the
+/// zero-copy mmap reader, anything else goes through the hardened text
+/// parser. `width` 0 derives the width (binary: the header; text: the
+/// widest word, at least 1); nonzero must match a binary header exactly and
+/// every text word must fit it. Throws std::runtime_error naming the path.
+std::unique_ptr<WordSource> open_word_source(const std::string& path, std::size_t width = 0);
+
+/// Drain a whole source into a vector (resets it first; used by consumers
+/// that genuinely need random access, e.g. stateful codec encoding).
+std::vector<std::uint64_t> collect(WordSource& source);
+
+}  // namespace tsvcod::streams

@@ -172,6 +172,69 @@ TEST(AssignmentIo, SaveLoadSaveIsByteIdentical) {
   EXPECT_EQ(first.str(), second.str());
 }
 
+// --- Regression: line endings and the words-count directive ----------------
+
+TEST(TraceIo, AcceptsCrlfLineEndings) {
+  std::stringstream crlf("# header\r\n0x1F\r\n42\r\n");
+  const auto words = streams::parse_trace(crlf);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], 0x1Fu);
+  EXPECT_EQ(words[1], 42u);
+}
+
+TEST(TraceIo, AcceptsFinalLineWithoutNewline) {
+  std::stringstream ss("12\n34");
+  EXPECT_EQ(streams::parse_trace(ss), (std::vector<std::uint64_t>{12, 34}));
+  std::stringstream crlf("12\r\n0x22");
+  EXPECT_EQ(streams::parse_trace(crlf), (std::vector<std::uint64_t>{12, 0x22}));
+}
+
+TEST(TraceIo, CrlfParsesIdenticallyToLf) {
+  const std::string lf = "# comment\n1\n2\n0x3\n";
+  std::string crlf;
+  for (const char ch : lf) {
+    if (ch == '\n') crlf += '\r';
+    crlf += ch;
+  }
+  std::stringstream a(lf), b(crlf);
+  EXPECT_EQ(streams::parse_trace(a), streams::parse_trace(b));
+}
+
+TEST(TraceIo, WordsDirectiveVerifiedAtEof) {
+  std::stringstream ok("words 2\n1\n2\n");
+  EXPECT_EQ(streams::parse_trace(ok).size(), 2u);
+  std::stringstream truncated("words 3\n1\n2\n");
+  try {
+    streams::parse_trace(truncated, "t.txt");
+    FAIL() << "expected count mismatch";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("t.txt"), std::string::npos) << msg;
+    EXPECT_NE(msg.find('3'), std::string::npos) << msg;  // declared
+    EXPECT_NE(msg.find('2'), std::string::npos) << msg;  // actual
+  }
+  std::stringstream padded("words 1\n1\n2\n");
+  EXPECT_THROW(streams::parse_trace(padded), std::runtime_error);
+}
+
+TEST(TraceIo, WordsDirectiveRejectsDuplicatesAndGarbage) {
+  std::stringstream dup("words 1\nwords 1\n7\n");
+  EXPECT_THROW(streams::parse_trace(dup), std::runtime_error);
+  std::stringstream bare("words\n");
+  EXPECT_THROW(streams::parse_trace(bare), std::runtime_error);
+  std::stringstream neg("words -1\n");
+  EXPECT_THROW(streams::parse_trace(neg), std::runtime_error);
+  std::stringstream junk("words 2x\n1\n2\n");
+  EXPECT_THROW(streams::parse_trace(junk), std::runtime_error);
+}
+
+TEST(TraceIo, SaveEmitsWordsDirective) {
+  std::stringstream ss;
+  streams::save_trace(ss, std::vector<std::uint64_t>{1, 2, 3});
+  EXPECT_NE(ss.str().find("words 3\n"), std::string::npos);
+  EXPECT_EQ(streams::parse_trace(ss), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
 TEST(AssignmentIo, GridRendering) {
   const auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
   core::SignedPermutation a({3, 2, 1, 0}, {1, 0, 0, 0});

@@ -7,13 +7,20 @@
 //   evaluate  price a stored assignment against a trace.
 //   mappings  print the systematic Spiral/Sawtooth layouts for an array.
 //   overhead  run the Sec. 3 routing-overhead study for an array.
+//   convert   convert a word trace between the text format and the .tsvb
+//             zero-copy binary format.
+//
+// Trace inputs (--trace) are format-sniffed: a .tsvb magic selects the
+// memory-mapped zero-copy reader, anything else the hardened text parser.
 //
 // Examples:
 //   tsvcod_cli extract --rows 4 --cols 4 --radius-um 2 --pitch-um 8 --out m.txt
 //   tsvcod_cli optimize --model m.txt --trace bus.txt --no-invert 14,15 \
 //                       --out assignment.txt
 //   tsvcod_cli evaluate --model m.txt --trace bus.txt --assignment assignment.txt
+//   tsvcod_cli convert --trace bus.txt --width 16 --out bus.tsvb
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -28,7 +35,11 @@
 #include "field/export.hpp"
 #include "field/extractor.hpp"
 #include "obs/obs.hpp"
+#include "opt/parallel.hpp"
+#include "stats/ingest.hpp"
+#include "streams/binary_trace.hpp"
 #include "streams/trace_io.hpp"
+#include "streams/word_source.hpp"
 #include "tsv/model_io.hpp"
 #include "tsv/routing.hpp"
 
@@ -62,9 +73,9 @@ class Args {
   double number_or(const std::string& k, double def) const {
     return has(k) ? std::stod(values_.at(k)) : def;
   }
-  std::size_t size(const std::string& k) const { return std::stoull(str(k)); }
+  std::size_t size(const std::string& k) const { return parse_size(k, str(k)); }
   std::size_t size_or(const std::string& k, std::size_t def) const {
-    return has(k) ? std::stoull(values_.at(k)) : def;
+    return has(k) ? parse_size(k, values_.at(k)) : def;
   }
 
   /// Comma-separated list of bit indices.
@@ -78,8 +89,41 @@ class Args {
   }
 
  private:
+  /// std::stoull silently accepts a sign ("-2" wraps to 2^64-2) and ignores
+  /// trailing junk; count-valued flags are bare non-negative integers, so
+  /// anything else is rejected with an error naming the flag.
+  static std::size_t parse_size(const std::string& k, const std::string& v) {
+    bool ok = !v.empty() && v[0] != '-' && v[0] != '+';
+    std::uint64_t out = 0;
+    if (ok) {
+      try {
+        std::size_t used = 0;
+        out = std::stoull(v, &used, 10);
+        ok = used == v.size();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      throw std::runtime_error("--" + k + " expects a non-negative integer, got: '" + v + "'");
+    }
+    return out;
+  }
+
   std::map<std::string, std::string> values_;
 };
+
+/// Resolve --threads. Explicit N > 0 is used as-is; an explicit 0 means all
+/// hardware threads (the same meaning TSVCOD_THREADS=0 has); an absent flag
+/// defers to the TSVCOD_THREADS convention (env value, else serial).
+/// Negative or non-numeric values were already rejected by Args::size.
+int threads_from(const Args& args) {
+  if (!args.has("threads")) return 0;
+  const std::size_t n = args.size("threads");
+  if (n == 0) return opt::hardware_threads();
+  if (n > 65536) throw std::runtime_error("--threads value is absurdly large: " + std::to_string(n));
+  return static_cast<int>(n);
+}
 
 phys::TsvArrayGeometry geometry_from(const Args& args) {
   phys::TsvArrayGeometry g;
@@ -111,20 +155,23 @@ std::optional<coding::CodecSpec> codec_from(const Args& args) {
 }
 
 /// Statistics of the trace as seen on the TSV lines: raw words when no codec
-/// is configured, else the trace pushed through the encoder sized so its
-/// output occupies the array exactly.
+/// is configured (consumed straight from the source — zero-copy for an
+/// mmap'd binary trace), else the trace pushed through the encoder sized so
+/// its output occupies the array exactly.
 stats::SwitchingStats line_stats_from(const Args& args, const core::Link& link,
-                                      const std::vector<std::uint64_t>& words) {
+                                      streams::WordSource& source, int threads) {
   const auto spec = codec_from(args);
-  if (!spec) return stats::compute_stats(words, link.width());
+  if (!spec) return stats::compute_stats(source, link.width(), threads);
   const auto codec = coding::make_codec_for_lines(*spec, link.width());
   std::printf("codec                    : %s (%zu payload bits -> %zu lines)\n",
               spec->name.c_str(), codec->width_in(), codec->width_out());
-  // Encoding is stateful and stays sequential; the statistics reduction of
-  // the encoded trace goes through the chunked bit-plane kernel.
+  // Encoding is stateful and stays sequential, so it genuinely needs the
+  // materialized trace; the statistics reduction of the encoded trace still
+  // goes through the chunked bit-plane kernel.
+  const auto words = streams::collect(source);
   std::vector<std::uint64_t> coded(words.size());
   for (std::size_t i = 0; i < words.size(); ++i) coded[i] = codec->encode(words[i]);
-  return stats::compute_stats(coded, link.width());
+  return stats::compute_stats(coded, link.width(), threads);
 }
 
 field::Preconditioner preconditioner_from(const Args& args) {
@@ -142,7 +189,7 @@ int cmd_extract(const Args& args) {
   if (backend == "field") {
     field::ExtractionOptions fo;
     fo.cell = args.number_or("cell-um", 0.125) * 1e-6;
-    fo.threads = static_cast<int>(args.size_or("threads", 0));
+    fo.threads = threads_from(args);
     fo.solver.preconditioner = preconditioner_from(args);
     std::printf("running field extraction (%zux%zu, cell %.3f um, %s preconditioner)...\n",
                 geom.rows, geom.cols, fo.cell * 1e6,
@@ -174,14 +221,15 @@ int cmd_extract(const Args& args) {
 int cmd_optimize(const Args& args) {
   const auto geom = geometry_from(args);
   const core::Link link(geom, model_from(args));
-  const auto words = streams::load_trace(args.str("trace"));
-  if (words.size() < 2) throw std::runtime_error("trace too short");
-  const auto st = line_stats_from(args, link, words);
+  const auto source = streams::open_word_source(args.str("trace"), link.width());
+  if (source->size() < 2) throw std::runtime_error("trace too short");
+  const int threads = threads_from(args);
+  const auto st = line_stats_from(args, link, *source, threads);
 
   core::OptimizeOptions opts;
   opts.seed = static_cast<unsigned>(args.size_or("seed", 1));
   opts.schedule.iterations = static_cast<int>(args.size_or("iterations", 20000));
-  opts.threads = static_cast<int>(args.size_or("threads", 0));
+  opts.threads = threads;
   const auto frozen = args.index_list_or("no-invert");
   if (!frozen.empty()) {
     opts.allow_invert.assign(link.width(), 1);
@@ -196,7 +244,7 @@ int cmd_optimize(const Args& args) {
   const auto spiral = core::spiral_assignment(geom, st);
   const auto sawtooth = core::sawtooth_assignment(geom, st);
 
-  std::printf("trace words              : %zu\n", words.size());
+  std::printf("trace words              : %zu\n", static_cast<std::size_t>(source->size()));
   std::printf("random assignment (mean) : %10.1f aF\n", base.mean * 1e18);
   std::printf("Spiral                   : %10.1f aF  (-%.1f %%)\n",
               link.power(st, spiral) * 1e18,
@@ -218,9 +266,9 @@ int cmd_optimize(const Args& args) {
 int cmd_evaluate(const Args& args) {
   const auto geom = geometry_from(args);
   const core::Link link(geom, model_from(args));
-  const auto words = streams::load_trace(args.str("trace"));
-  if (words.size() < 2) throw std::runtime_error("trace too short");
-  const auto st = line_stats_from(args, link, words);
+  const auto source = streams::open_word_source(args.str("trace"), link.width());
+  if (source->size() < 2) throw std::runtime_error("trace too short");
+  const auto st = line_stats_from(args, link, *source, threads_from(args));
   const auto a = core::load_assignment(args.str("assignment"));
   const auto base = core::random_assignment_power(st, link.model());
   const double p = link.power(st, a);
@@ -231,6 +279,7 @@ int cmd_evaluate(const Args& args) {
   if (const auto spec = codec_from(args)) {
     // Correctness half of the claim: every payload word must survive the
     // full encode -> assign -> lines -> unassign -> decode chain.
+    const auto words = streams::collect(*source);
     auto coded = link.coded(*spec, a);
     const std::uint64_t payload_mask = streams::width_mask(coded.payload_width());
     for (std::size_t k = 0; k < words.size(); ++k) {
@@ -285,6 +334,43 @@ int cmd_fieldmap(const Args& args) {
   return stats.converged ? 0 : 1;
 }
 
+int cmd_convert(const Args& args) {
+  const std::string in = args.str("trace");
+  const std::string out = args.str("out");
+  const bool in_binary = streams::file_looks_like_binary_trace(in);
+  const std::string to = args.str_or("to", in_binary ? "text" : "binary");
+  if (to != "text" && to != "binary") throw std::runtime_error("unknown --to (use text|binary)");
+
+  // Format sniffing + width rules live in open_word_source: a text input goes
+  // through the hardened parser, a binary input through the mmap reader.
+  const auto source = streams::open_word_source(in, args.size_or("width", 0));
+  if (to == "text") {
+    const auto words = streams::collect(*source);
+    streams::save_trace(out, words);
+    std::printf("wrote %zu words (width %zu) to %s (text)\n", words.size(), source->width(),
+                out.c_str());
+    return 0;
+  }
+
+  // Provenance seed: keep a binary input's, unless overridden.
+  std::uint64_t seed = 0;
+  if (const auto* m = dynamic_cast<const streams::MappedTraceSource*>(source.get())) {
+    seed = m->header().seed;
+  }
+  if (args.has("seed")) seed = args.size("seed");
+
+  streams::BinaryTraceWriter writer(out, source->width(), seed);
+  source->reset();
+  for (auto chunk = source->next_chunk(); !chunk.empty(); chunk = source->next_chunk()) {
+    writer.write(chunk);
+  }
+  writer.close();
+  std::printf("wrote %llu words (width %zu, seed %llu) to %s (.tsvb binary)\n",
+              static_cast<unsigned long long>(writer.written()), source->width(),
+              static_cast<unsigned long long>(seed), out.c_str());
+  return 0;
+}
+
 int cmd_overhead(const Args& args) {
   const auto geom = geometry_from(args);
   const std::vector<double> pr(geom.count(), 0.5);
@@ -303,9 +389,11 @@ int cmd_overhead(const Args& args) {
 
 void usage() {
   std::printf(
-      "usage: tsvcod_cli <extract|optimize|evaluate|mappings|overhead|fieldmap> [--flags]\n"
+      "usage: tsvcod_cli <extract|optimize|evaluate|mappings|overhead|fieldmap|convert>"
+      " [--flags]\n"
       "common flags : --rows N --cols N --radius-um R --pitch-um D [--length-um L]\n"
-      "               [--threads N]  (0/unset: TSVCOD_THREADS env, else serial;\n"
+      "               [--threads N]  (N=0: all hardware threads, same as\n"
+      "                TSVCOD_THREADS=0; unset: TSVCOD_THREADS env, else serial;\n"
       "                results are identical at every thread count)\n"
       "               [--preconditioner jacobi|multigrid]  (field solves; default\n"
       "                multigrid, or the TSVCOD_PRECONDITIONER env override)\n"
@@ -321,7 +409,10 @@ void usage() {
       "               [--seed S] [--codec NAME] [--out FILE]\n"
       "evaluate     : [--model FILE] --trace FILE --assignment FILE [--codec NAME]\n"
       "               (with --codec also verifies the encode->assign->decode chain)\n"
-      "fieldmap     : [--probability P] [--cell-um C] --out PREFIX\n");
+      "fieldmap     : [--probability P] [--cell-um C] --out PREFIX\n"
+      "convert      : --trace FILE --out FILE [--to text|binary] [--width W] [--seed S]\n"
+      "               (default --to: the opposite of the sniffed input format;\n"
+      "                .tsvb is the zero-copy mmap format — see README 'Trace formats')\n");
 }
 
 }  // namespace
@@ -334,6 +425,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
+    // Fail fast on a malformed TSVCOD_THREADS (clear error up front instead
+    // of a surprise at the first parallel section).
+    (void)opt::default_threads();
     // Observability: env first, explicit flags override.
     obs::init_from_env();
     if (args.has("trace-out")) obs::set_trace_path(args.str("trace-out"));
@@ -346,6 +440,7 @@ int main(int argc, char** argv) {
     else if (cmd == "mappings") rc = cmd_mappings(args);
     else if (cmd == "overhead") rc = cmd_overhead(args);
     else if (cmd == "fieldmap") rc = cmd_fieldmap(args);
+    else if (cmd == "convert") rc = cmd_convert(args);
     else {
       usage();
       return 2;

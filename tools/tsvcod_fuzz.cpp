@@ -1,8 +1,9 @@
-// Standalone fuzz driver for the text parsers (trace / model / assignment).
+// Standalone fuzz driver for the trace/model/assignment parsers — the text
+// formats and the .tsvb binary trace format.
 //
-// Runs the io_roundtrip oracle's generators and mutation engine directly
-// against the parsers for a configurable number of iterations, printing a
-// replay seed on the first failure. Unlike the ctest-run oracle suite this
+// Runs the io_roundtrip / binary_roundtrip oracles' generators and mutation
+// engines directly against the parsers for a configurable number of
+// iterations, printing a replay seed on the first failure. Unlike the ctest-run oracle suite this
 // driver is meant for long unattended runs:
 //
 //   tsvcod_fuzz [--iters N] [--seed S] [--oracle NAME | all]
@@ -25,8 +26,9 @@ void usage(std::ostream& os) {
   os << "usage: tsvcod_fuzz [--iters N] [--seed S] [--oracle NAME]\n"
         "  --iters N    iterations per oracle (default 500; TSVCOD_CHECK_ITERS overrides)\n"
         "  --seed S     base seed (decimal or 0x-hex; default harness seed)\n"
-        "  --oracle X   one of codec|evaluator|stats|field|io|all (default io)\n"
-        "The io oracle is the parser fuzzer proper; the others are the same\n"
+        "  --oracle X   one of codec|evaluator|stats|field|io|binary|all (default io)\n"
+        "The io and binary oracles are the parser fuzzers proper (text formats\n"
+        "and the .tsvb binary trace format); the others are the same\n"
         "differential properties the `check` ctest label runs, for deep soaks.\n";
 }
 
@@ -89,6 +91,8 @@ int main(int argc, char** argv) {
       reports.push_back(tsvcod::check::oracle_field_consistency(opt));
     } else if (oracle == "io") {
       reports.push_back(tsvcod::check::oracle_io_roundtrip(opt));
+    } else if (oracle == "binary") {
+      reports.push_back(tsvcod::check::oracle_binary_roundtrip(opt));
     } else {
       std::cerr << "tsvcod_fuzz: unknown oracle '" << oracle << "'\n\n";
       usage(std::cerr);
