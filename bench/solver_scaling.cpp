@@ -6,11 +6,15 @@
 // (flat for multigrid, growing with resolution for Jacobi).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <random>
 #include <vector>
 
 #include "field/extractor.hpp"
+#include "field/multigrid.hpp"
 #include "field/solver.hpp"
 #include "phys/tsv_geometry.hpp"
+#include "simd/dispatch.hpp"
 
 using namespace tsvcod;
 
@@ -90,6 +94,46 @@ void BM_ProbabilitySweep(benchmark::State& state, bool reuse) {
   state.counters["iterations_solver"] = static_cast<double>(iters);
 }
 
+// Smoother kernel throughput on the coax geometry, per SIMD dispatch level:
+// sweeps of the finest-level smoother via the apply_smoother hook (the
+// inner loop of every V-cycle). cells_per_second counts one smoothing sweep
+// over the full grid.
+void BM_Smoother(benchmark::State& state, field::MultigridOptions::Smoother smoother,
+                 simd::Level level) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  if (level > simd::detected_level()) {
+    state.SkipWithError("host CPU lacks this SIMD level");
+    return;
+  }
+  const field::Grid g = make_coax_grid(n);
+  std::vector<std::uint8_t> dirichlet(n * n, 0);
+  std::vector<field::Complex> eps(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    dirichlet[i] = g.conductor(i) >= 0 ? 1 : 0;
+    eps[i] = g.eps(i);
+  }
+  field::MultigridOptions opts;
+  opts.smoother = smoother;
+  const field::Multigrid mg(n, n, dirichlet, eps, opts);
+
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<field::Complex> rhs(n * n);
+  for (auto& v : rhs) v = field::Complex{u(rng), u(rng)};
+  std::vector<field::Complex> x(n * n, field::Complex{});
+  std::vector<field::Complex> scratch(n * n, field::Complex{});
+
+  simd::ScopedLevel guard(level);
+  constexpr int kSweeps = 8;
+  for (auto _ : state) {
+    mg.apply_smoother(rhs, x, scratch, kSweeps);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["cells_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kSweeps * static_cast<double>(n * n),
+      benchmark::Counter::kIsRate);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_FieldSolve, jacobi, field::Preconditioner::jacobi)
@@ -109,3 +153,33 @@ BENCHMARK_CAPTURE(BM_Extraction2x2, multigrid, field::Preconditioner::multigrid)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_ProbabilitySweep, cold, false)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_ProbabilitySweep, reuse_warm, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Smoother, rbgs_scalar, field::MultigridOptions::Smoother::red_black_gs,
+                  simd::Level::scalar)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Smoother, rbgs_avx2, field::MultigridOptions::Smoother::red_black_gs,
+                  simd::Level::avx2)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Smoother, rbgs_avx512, field::MultigridOptions::Smoother::red_black_gs,
+                  simd::Level::avx512)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Smoother, jacobi_scalar, field::MultigridOptions::Smoother::damped_jacobi,
+                  simd::Level::scalar)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Smoother, jacobi_avx2, field::MultigridOptions::Smoother::damped_jacobi,
+                  simd::Level::avx2)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Smoother, jacobi_avx512, field::MultigridOptions::Smoother::damped_jacobi,
+                  simd::Level::avx512)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);

@@ -258,6 +258,31 @@ std::optional<std::string> check_eval_case(const EvalCase& ec) {
     if (auto err = compare(p, dense(ev.assignment()), where_str.c_str())) return err;
   }
   if (auto err = compare(ev.recompute(), dense(ev.assignment()), "recompute()")) return err;
+  // Batched pricing leg: score every generated move in one block against the
+  // current state (no mutation); each score must match the dense power of
+  // that single move applied on its own.
+  {
+    std::vector<core::PowerEvaluator::Move> batch(ec.moves.size());
+    for (std::size_t k = 0; k < ec.moves.size(); ++k) {
+      batch[k] = {ec.moves[k].toggle, ec.moves[k].a, ec.moves[k].b};
+    }
+    std::vector<double> scores(batch.size());
+    ev.score_moves(batch, scores);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      core::SignedPermutation a = ev.assignment();
+      if (batch[k].is_toggle) {
+        a.toggle_inversion(batch[k].a);
+      } else {
+        a.swap_bits(batch[k].a, batch[k].b);
+      }
+      std::ostringstream where;
+      where << "score_moves[" << k << (batch[k].is_toggle ? "] toggle(" : "] swap(") << batch[k].a;
+      if (!batch[k].is_toggle) where << ',' << batch[k].b;
+      where << ')';
+      const std::string where_str = where.str();
+      if (auto err = compare(scores[k], dense(a), where_str.c_str())) return err;
+    }
+  }
   ev.reset(ec.initial);
   if (auto err = compare(ev.power(), dense(ec.initial), "after reset(initial)")) return err;
   return std::nullopt;

@@ -1,13 +1,128 @@
 #include "core/evaluator.hpp"
 
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "simd/dispatch.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TSVCOD_EVAL_X86_KERNELS 1
+#include <immintrin.h>
+#endif
 
 namespace tsvcod::core {
 
 namespace {
+
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// ---------------------------------------------------------------------------
+// Row reduction kernel. Every O(N) update of the evaluator is built from
+//
+//   S = sum_j (sa + self[j] - 2 ga sign[j] coup[j]) * (cref[j] + dc[j] (ea + eps[j]))
+//
+// over the contiguous per-line arrays: `coup` is the line-space coupling row
+// of the bit being priced, `cref`/`dc` the model rows of the line it sits on
+// (model rows never move — they are line geometry), and (sa, ea, ga) the
+// self/eps/sign parameters of that bit, broadcast. Lanes the caller must
+// exclude (the diagonal, the partner line of a swap) are subtracted back
+// scalar-wise with the same per-lane formula; the vector clones reassociate
+// the reduction and contract to FMA, so results differ from scalar only at
+// eps scale (the evaluator_drift oracle bounds it).
+// ---------------------------------------------------------------------------
+
+struct RowArgs {
+  const double* self;
+  const double* eps;
+  const double* sign;
+  const double* coup;  ///< line-space coupling row of the priced bit
+  const double* cref;  ///< model rows of the priced line
+  const double* dc;
+  std::size_t n;
+  double sa, ea, ga;  ///< broadcast self / eps / sign of the priced bit
+};
+
+inline double row_lane(const RowArgs& a, std::size_t j) {
+  return (a.sa + a.self[j] - 2.0 * a.ga * a.sign[j] * a.coup[j]) *
+         (a.cref[j] + a.dc[j] * (a.ea + a.eps[j]));
 }
+
+double row_sum_scalar(const RowArgs& a) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.n; ++j) acc += row_lane(a, j);
+  return acc;
+}
+
+#if defined(TSVCOD_EVAL_X86_KERNELS)
+
+__attribute__((target("avx2,fma"))) double row_sum_avx2(const RowArgs& a) {
+  const __m256d vsa = _mm256_set1_pd(a.sa);
+  const __m256d vea = _mm256_set1_pd(a.ea);
+  const __m256d vg2 = _mm256_set1_pd(-2.0 * a.ga);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= a.n; j += 4) {
+    const __m256d t = _mm256_add_pd(
+        _mm256_add_pd(vsa, _mm256_loadu_pd(a.self + j)),
+        _mm256_mul_pd(vg2,
+                      _mm256_mul_pd(_mm256_loadu_pd(a.sign + j), _mm256_loadu_pd(a.coup + j))));
+    const __m256d c =
+        _mm256_fmadd_pd(_mm256_loadu_pd(a.dc + j), _mm256_add_pd(vea, _mm256_loadu_pd(a.eps + j)),
+                        _mm256_loadu_pd(a.cref + j));
+    acc = _mm256_fmadd_pd(t, c, acc);
+  }
+  // Fixed lane-combining order: (l0+l2) + (l1+l3), then low + high.
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double r = _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (; j < a.n; ++j) r += row_lane(a, j);
+  return r;
+}
+
+__attribute__((target("avx512f,avx512dq"))) double row_sum_avx512(const RowArgs& a) {
+  const __m512d vsa = _mm512_set1_pd(a.sa);
+  const __m512d vea = _mm512_set1_pd(a.ea);
+  const __m512d vg2 = _mm512_set1_pd(-2.0 * a.ga);
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 8 <= a.n; j += 8) {
+    const __m512d t = _mm512_add_pd(
+        _mm512_add_pd(vsa, _mm512_loadu_pd(a.self + j)),
+        _mm512_mul_pd(vg2,
+                      _mm512_mul_pd(_mm512_loadu_pd(a.sign + j), _mm512_loadu_pd(a.coup + j))));
+    const __m512d c =
+        _mm512_fmadd_pd(_mm512_loadu_pd(a.dc + j), _mm512_add_pd(vea, _mm512_loadu_pd(a.eps + j)),
+                        _mm512_loadu_pd(a.cref + j));
+    acc = _mm512_fmadd_pd(t, c, acc);
+  }
+  // _mm512_reduce_add_pd has a fixed tree order per the intrinsic contract.
+  double r = _mm512_reduce_add_pd(acc);
+  for (; j < a.n; ++j) r += row_lane(a, j);
+  return r;
+}
+
+#endif  // TSVCOD_EVAL_X86_KERNELS
+
+using RowFn = double (*)(const RowArgs&);
+
+RowFn row_fn() {
+#if defined(TSVCOD_EVAL_X86_KERNELS)
+  switch (simd::active_level()) {
+    case simd::Level::avx512:
+      return &row_sum_avx512;
+    case simd::Level::avx2:
+      return &row_sum_avx2;
+    default:
+      break;
+  }
+#endif
+  return &row_sum_scalar;
+}
+
+}  // namespace
 
 PowerEvaluator::PowerEvaluator(const stats::SwitchingStats& bit_stats,
                                const tsv::LinearCapacitanceModel& model,
@@ -22,10 +137,12 @@ void PowerEvaluator::reset(SignedPermutation assignment) {
   if (model_.size() != n || assignment_.size() != n) {
     throw std::invalid_argument("PowerEvaluator: size mismatch");
   }
+  n_ = n;
   line_self_.resize(n);
   line_eps_.resize(n);
   line_sign_.resize(n);
   for (std::size_t l = 0; l < n; ++l) refresh_line(l);
+  rebuild_line_coupling();
   power_ = recompute();
 }
 
@@ -38,18 +155,45 @@ void PowerEvaluator::refresh_line(std::size_t line) {
   line_sign_[line] = inv ? -1.0 : 1.0;
 }
 
+void PowerEvaluator::rebuild_line_coupling() {
+  coup_line_.resize(n_ * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t bi = assignment_.bit_of_line(i);
+    double* row = coup_line_.data() + i * n_;
+    for (std::size_t j = 0; j < n_; ++j) row[j] = bits_.coupling(bi, assignment_.bit_of_line(j));
+  }
+}
+
+void PowerEvaluator::swap_coupling_lines(std::size_t la, std::size_t lb) {
+  // coup_line_ is the coupling matrix conjugated by the line<->bit
+  // permutation; transposing two lines swaps the corresponding row pair and
+  // column pair (symmetry keeps the 2x2 block consistent).
+  double* ra = coup_line_.data() + la * n_;
+  double* rb = coup_line_.data() + lb * n_;
+  for (std::size_t j = 0; j < n_; ++j) std::swap(ra[j], rb[j]);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::swap(coup_line_[i * n_ + la], coup_line_[i * n_ + lb]);
+  }
+}
+
+void PowerEvaluator::check_bit(std::size_t bit, const char* fn) const {
+  if (bit >= n_) {
+    std::ostringstream os;
+    os << "PowerEvaluator::" << fn << ": bit index " << bit << " out of range for width " << n_;
+    throw std::out_of_range(os.str());
+  }
+}
+
 double PowerEvaluator::c_prime(std::size_t li, std::size_t lj) const {
   return model_.c_ref()(li, lj) + model_.delta_c()(li, lj) * (line_eps_[li] + line_eps_[lj]);
 }
 
 double PowerEvaluator::k_coupling(std::size_t li, std::size_t lj) const {
-  const std::size_t bi = assignment_.bit_of_line(li);
-  const std::size_t bj = assignment_.bit_of_line(lj);
-  return line_sign_[li] * line_sign_[lj] * bits_.coupling(bi, bj);
+  return line_sign_[li] * line_sign_[lj] * coup_line_[li * n_ + lj];
 }
 
 double PowerEvaluator::recompute() const {
-  const std::size_t n = bits_.width;
+  const std::size_t n = n_;
   double p = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     p += line_self_[i] * c_prime(i, i);
@@ -62,25 +206,29 @@ double PowerEvaluator::recompute() const {
 }
 
 double PowerEvaluator::terms_involving(std::size_t la, std::size_t lb) const {
-  const std::size_t n = bits_.width;
-  double acc = 0.0;
-  // Ground terms of the affected lines.
-  acc += line_self_[la] * c_prime(la, la);
-  if (lb != kNone) acc += line_self_[lb] * c_prime(lb, lb);
-  // All coupling terms with at least one end on an affected line. For the
-  // ordered-pair sum, pair {i,j} contributes (self_i + self_j - 2k) C_ij.
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j != la) {
-      acc += (line_self_[la] + line_self_[j] - 2.0 * k_coupling(la, j)) * c_prime(la, j);
-    }
-    if (lb != kNone && j != lb && j != la) {
-      acc += (line_self_[lb] + line_self_[j] - 2.0 * k_coupling(lb, j)) * c_prime(lb, j);
-    }
+  // Ordered-pair algebra: pair {i,j} contributes (self_i + self_j - 2k) C_ij
+  // once; the row kernel sums every lane, so the diagonal lane is swapped
+  // out for the ground term, and the duplicate {la,lb} lane of the second
+  // row is subtracted (the first row already counted the pair).
+  const RowFn fn = row_fn();
+  const double* cref = model_.c_ref().data().data();
+  const double* dc = model_.delta_c().data().data();
+  const RowArgs ra{line_self_.data(), line_eps_.data(),  line_sign_.data(),
+                   coup_line_.data() + la * n_, cref + la * n_, dc + la * n_,
+                   n_, line_self_[la], line_eps_[la], line_sign_[la]};
+  double acc = fn(ra) - row_lane(ra, la) + line_self_[la] * c_prime(la, la);
+  if (lb != kNone) {
+    const RowArgs rb{line_self_.data(), line_eps_.data(),  line_sign_.data(),
+                     coup_line_.data() + lb * n_, cref + lb * n_, dc + lb * n_,
+                     n_, line_self_[lb], line_eps_[lb], line_sign_[lb]};
+    acc += fn(rb) - row_lane(rb, lb) - row_lane(rb, la) + line_self_[lb] * c_prime(lb, lb);
   }
   return acc;
 }
 
 double PowerEvaluator::swap_bits(std::size_t bit_a, std::size_t bit_b) {
+  check_bit(bit_a, "swap_bits");
+  check_bit(bit_b, "swap_bits");
   if (bit_a == bit_b) return power_;
   const std::size_t la = assignment_.line_of_bit(bit_a);
   const std::size_t lb = assignment_.line_of_bit(bit_b);
@@ -88,17 +236,83 @@ double PowerEvaluator::swap_bits(std::size_t bit_a, std::size_t bit_b) {
   assignment_.swap_bits(bit_a, bit_b);
   refresh_line(la);
   refresh_line(lb);
+  swap_coupling_lines(la, lb);
   power_ += terms_involving(la, lb) - before;
   return power_;
 }
 
 double PowerEvaluator::toggle_inversion(std::size_t bit) {
+  check_bit(bit, "toggle_inversion");
   const std::size_t l = assignment_.line_of_bit(bit);
   const double before = terms_involving(l, kNone);
   assignment_.toggle_inversion(bit);
   refresh_line(l);
   power_ += terms_involving(l, kNone) - before;
   return power_;
+}
+
+void PowerEvaluator::score_moves(std::span<const Move> moves, std::span<double> out) const {
+  if (out.size() < moves.size()) {
+    throw std::invalid_argument("PowerEvaluator::score_moves: output span too small");
+  }
+  const RowFn fn = row_fn();
+  const double* self = line_self_.data();
+  const double* eps = line_eps_.data();
+  const double* sign = line_sign_.data();
+  const double* coup = coup_line_.data();
+  const double* cref = model_.c_ref().data().data();
+  const double* dc = model_.delta_c().data().data();
+
+  for (std::size_t k = 0; k < moves.size(); ++k) {
+    const Move& m = moves[k];
+    if (m.is_toggle) {
+      check_bit(m.a, "score_moves");
+      const std::size_t l = assignment_.line_of_bit(m.a);
+      const double sl = self[l], el = eps[l], gl = sign[l];
+      // A toggle flips (eps, sign) of one line; self and the coupling gather
+      // are untouched. Both row sums run over the *current* arrays with the
+      // line's own parameters broadcast, so only the j == l lane is stale in
+      // the "after" sum — exactly the lane both sums exclude anyway.
+      const RowArgs cur{self, eps, sign, coup + l * n_, cref + l * n_, dc + l * n_,
+                        n_,   sl,  el,   gl};
+      const double before = fn(cur) - row_lane(cur, l) + sl * c_prime(l, l);
+      RowArgs nxt = cur;
+      nxt.ea = -el;
+      nxt.ga = -gl;
+      const double ground_after = sl * (cref[l * n_ + l] + dc[l * n_ + l] * (-el + -el));
+      const double after = fn(nxt) - row_lane(nxt, l) + ground_after;
+      out[k] = power_ + (after - before);
+      continue;
+    }
+    check_bit(m.a, "score_moves");
+    check_bit(m.b, "score_moves");
+    if (m.a == m.b) {
+      out[k] = power_;
+      continue;
+    }
+    const std::size_t la = assignment_.line_of_bit(m.a);
+    const std::size_t lb = assignment_.line_of_bit(m.b);
+    const double before = terms_involving(la, lb);
+    // After the swap, line la carries lb's current (self, eps, sign) triple
+    // and lb's coupling row (and vice versa); the model rows stay put. The
+    // two row sums are therefore priced from the current arrays with the
+    // partner's row/parameters, and only the j == la / j == lb lanes are
+    // stale: both diagonals drop out, and the {la,lb} pair lane is re-added
+    // once with its true post-swap value.
+    const double sa = self[lb], ea = eps[lb], ga = sign[lb];  // new la triple
+    const double sb = self[la], eb = eps[la], gb = sign[la];  // new lb triple
+    const RowArgs a1{self, eps, sign, coup + lb * n_, cref + la * n_, dc + la * n_,
+                     n_,   sa,  ea,   ga};
+    const RowArgs a2{self, eps, sign, coup + la * n_, cref + lb * n_, dc + lb * n_,
+                     n_,   sb,  eb,   gb};
+    const double pair = (sa + sb - 2.0 * (ga * gb) * coup[lb * n_ + la]) *
+                        (cref[la * n_ + lb] + dc[la * n_ + lb] * (ea + eb));
+    const double ground_a = sa * (cref[la * n_ + la] + dc[la * n_ + la] * (ea + ea));
+    const double ground_b = sb * (cref[lb * n_ + lb] + dc[lb * n_ + lb] * (eb + eb));
+    const double after = fn(a1) - row_lane(a1, la) - row_lane(a1, lb) + pair + ground_a +
+                         fn(a2) - row_lane(a2, lb) - row_lane(a2, la) + ground_b;
+    out[k] = power_ + (after - before);
+  }
 }
 
 }  // namespace tsvcod::core

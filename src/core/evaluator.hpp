@@ -9,11 +9,25 @@
 // in O(N) per move, with moves being self-inverse (repeat to undo), which is
 // exactly what the annealer needs.
 //
-// Invariant (checked in tests): power() equals assignment_power() of the
-// current assignment, bit-for-bit up to floating-point accumulation.
+// The per-line state (self activity, centered one-probability, inversion
+// sign) lives in contiguous arrays, and the bit-space coupling matrix is
+// kept gathered into line space (coup_line_[i][j] = coupling(bit_of_line(i),
+// bit_of_line(j)); a swap exchanges one row and one column, a toggle leaves
+// it untouched). Every O(N) update is then one or two dense row reductions
+// over contiguous memory, dispatched through src/simd to AVX2/AVX-512 FMA
+// kernels with a fixed lane-combining order per level. score_moves() prices
+// a whole block of candidate moves against the current state without
+// mutating it, which is what lets the annealer amortize pricing.
+//
+// Invariant (checked in tests and the evaluator_drift oracle): power()
+// equals assignment_power() of the current assignment up to eps-scale
+// floating-point accumulation, at every dispatch level.
+
+#include <span>
 
 #include "core/assignment.hpp"
 #include "core/power.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/switching_stats.hpp"
 #include "tsv/linear_model.hpp"
 
@@ -21,20 +35,38 @@ namespace tsvcod::core {
 
 class PowerEvaluator {
  public:
+  /// One candidate annealing move: a swap of two bits, or an inversion
+  /// toggle of bit `a` (`b` is ignored for toggles).
+  struct Move {
+    bool is_toggle = false;
+    std::size_t a = 0;
+    std::size_t b = 0;
+  };
+
   PowerEvaluator(const stats::SwitchingStats& bit_stats, const tsv::LinearCapacitanceModel& model,
                  SignedPermutation initial);
 
   double power() const { return power_; }
   const SignedPermutation& assignment() const { return assignment_; }
+  std::size_t width() const { return n_; }
 
   /// Restart from a new assignment (same stats/model); also clears any
   /// floating-point drift accumulated by the incremental updates.
   void reset(SignedPermutation assignment);
 
   /// Exchange the lines of two bits; returns the new total power.
+  /// Throws std::out_of_range naming the index and width on a bad bit.
   double swap_bits(std::size_t bit_a, std::size_t bit_b);
   /// Flip one bit's inversion; returns the new total power.
+  /// Throws std::out_of_range naming the index and width on a bad bit.
   double toggle_inversion(std::size_t bit);
+
+  /// Price a block of candidate moves against the current state WITHOUT
+  /// mutating it: out[k] is the total power the evaluator would report after
+  /// applying moves[k] alone. `out` must have at least moves.size() slots.
+  /// A scored value matches the later applied value to the same eps-scale
+  /// drift bound the incremental updates carry (oracle: evaluator_drift).
+  void score_moves(std::span<const Move> moves, std::span<double> out) const;
 
   /// O(N^2) reference recomputation (for verification).
   double recompute() const;
@@ -44,6 +76,9 @@ class PowerEvaluator {
   /// (lb == SIZE_MAX for single-line moves).
   double terms_involving(std::size_t la, std::size_t lb) const;
   void refresh_line(std::size_t line);
+  void rebuild_line_coupling();
+  void swap_coupling_lines(std::size_t la, std::size_t lb);
+  void check_bit(std::size_t bit, const char* fn) const;
 
   double c_prime(std::size_t li, std::size_t lj) const;
   double k_coupling(std::size_t li, std::size_t lj) const;
@@ -51,9 +86,12 @@ class PowerEvaluator {
   const stats::SwitchingStats& bits_;
   const tsv::LinearCapacitanceModel& model_;
   SignedPermutation assignment_;
-  std::vector<double> line_self_;
-  std::vector<double> line_eps_;
-  std::vector<double> line_sign_;
+  std::size_t n_ = 0;
+  simd::AlignedVector<double> line_self_;
+  simd::AlignedVector<double> line_eps_;
+  simd::AlignedVector<double> line_sign_;
+  /// Line-space gather of the bit-space coupling matrix, row-major n x n.
+  simd::AlignedVector<double> coup_line_;
   double power_ = 0.0;
 };
 

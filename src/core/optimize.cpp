@@ -30,11 +30,18 @@ struct ChainOutcome {
   std::size_t attempted = 0;  ///< attempted annealing moves (excl. probes)
 };
 
-// One annealing chain on the incremental evaluator: moves are self-inverse
-// (swap again / toggle again), so rejection is an undo and every accept or
-// reject costs O(N) instead of the O(N^2) full evaluation. `evaluations`
-// counts candidates priced, one per probe or attempted move; the undo of a
-// rejected move restores state it has already paid for and is not counted.
+// One annealing chain on the incremental evaluator. Candidate moves are
+// priced in blocks through PowerEvaluator::score_moves — the batch API keeps
+// the per-line arrays hot and lets the SIMD row kernels amortize — and a
+// block's scores stay valid as long as every move in it is rejected (the
+// state never changed). An accept applies the one winning move and discards
+// the rest of the block. The block size adapts to the acceptance rate: it
+// starts small, doubles whenever a whole block is rejected (cold chain), and
+// snaps back to small on an accept (hot chain), so scoring work is rarely
+// thrown away. `evaluations` counts candidates consumed, one per probe or
+// attempted move — scored-but-discarded candidates are not counted — so the
+// count stays a pure function of the schedule, and the chain itself is a
+// pure function of its seed (thread-count invariant).
 ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
                        const tsv::LinearCapacitanceModel& model, const OptimizeOptions& options,
                        const std::vector<std::size_t>& invertible_bits, std::uint64_t seed,
@@ -58,10 +65,7 @@ ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
   PowerEvaluator ev(bit_stats, model, SignedPermutation::identity(n));
   std::size_t evaluations = 1;
 
-  struct Move {
-    bool is_toggle;
-    std::size_t a, b;
-  };
+  using Move = PowerEvaluator::Move;
   const auto random_move = [&]() -> Move {
     if (any_invertible && move_kind(rng) == 2) {
       std::uniform_int_distribution<std::size_t> pick(0, invertible_bits.size() - 1);
@@ -76,18 +80,23 @@ ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
     return m.is_toggle ? ev.toggle_inversion(m.a) : ev.swap_bits(m.a, m.b);
   };
 
-  // Temperature calibration from probe moves (undone immediately).
+  // Batch pricing buffers shared by the probe phase and the main loop.
+  std::vector<Move> block;
+  std::vector<double> scores;
+
+  // Temperature calibration: price the probe moves in one batch against the
+  // untouched initial state (scoring does not mutate, so no undos needed).
   double t_start = options.schedule.t_start;
   if (t_start <= 0.0) {
-    double acc = 0.0;
     constexpr int kProbe = 32;
-    for (int i = 0; i < kProbe; ++i) {
-      const double before = ev.power();
-      const Move m = random_move();
-      ++evaluations;
-      acc += std::abs(apply(m) - before);
-      apply(m);  // undo
-    }
+    block.clear();
+    for (int i = 0; i < kProbe; ++i) block.push_back(random_move());
+    scores.resize(block.size());
+    ev.score_moves(block, scores);
+    const double before = ev.power();
+    double acc = 0.0;
+    for (int i = 0; i < kProbe; ++i) acc += std::abs(scores[static_cast<std::size_t>(i)] - before);
+    evaluations += kProbe;
     t_start = acc / kProbe * 2.0;
     if (t_start <= 0.0) t_start = 1e-12;
   }
@@ -102,26 +111,48 @@ ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
   std::size_t attempted = 0;
   // Trace sampling stride: ~64 samples per restart keeps traces compact.
   const int stride = std::max(1, options.schedule.iterations / 64);
+  constexpr std::size_t kBlockMin = 4;
+  constexpr std::size_t kBlockMax = 64;
   for (int restart = 0; restart < options.schedule.restarts; ++restart) {
     // Resync from the best state (also clears float drift of the deltas).
     ev.reset(best);
     double current = ev.power();
     double t = t_start;
+    std::size_t block_size = kBlockMin;
+    std::size_t cursor = 0;
+    block.clear();
     for (int it = 0; it < options.schedule.iterations; ++it, t *= decay) {
-      const Move m = random_move();
-      const double cand = apply(m);
+      if (cursor >= block.size()) {
+        block.clear();
+        for (std::size_t i = 0; i < block_size; ++i) block.push_back(random_move());
+        scores.resize(block.size());
+        ev.score_moves(block, scores);
+        cursor = 0;
+      }
+      const Move m = block[cursor];
+      const double cand = scores[cursor];
+      ++cursor;
       ++evaluations;
       ++attempted;
       const double d = cand - current;
       if (d <= 0.0 || uni(rng) < std::exp(-d / t)) {
-        current = cand;
+        // The scored value and the applied value agree to eps-scale drift;
+        // track the applied one so `current` stays synced with the evaluator.
+        apply(m);
+        current = ev.power();
         ++accepted;
         if (current < best_power) {
           best_power = current;
           best = ev.assignment();
         }
-      } else {
-        apply(m);  // reject: undo
+        // State changed: the rest of the block's scores are stale.
+        block.clear();
+        cursor = 0;
+        block_size = kBlockMin;
+      } else if (cursor >= block.size()) {
+        // A whole block rejected without an accept: the chain is cold, so
+        // larger batches are pure profit.
+        block_size = std::min(block_size * 2, kBlockMax);
       }
       if (tracing && it % stride == 0) {
         obs::counter(track_power, best_power);

@@ -3,6 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TSVCOD_FIELD_X86_KERNELS 1
+#include <immintrin.h>
+#endif
+
 namespace tsvcod::field {
 
 namespace {
@@ -17,6 +24,355 @@ Complex harmonic_mean(Complex a, Complex b) {
 // sliver dimension) while the level is still too big to factor densely,
 // replace the direct solve with extra smoothing sweeps.
 constexpr std::size_t kMaxDenseUnknowns = 4096;
+
+// ---------------------------------------------------------------------------
+// Smoother / residual kernels.
+//
+// The scalar forms below are the reference semantics; the AVX2/AVX-512
+// clones vectorize the 5-point stencil over interior rows (both neighbors
+// exist, so no existence guards) and lean on the v_cycle invariant that
+// x[i] == 0 at every Dirichlet cell: a face term against a Dirichlet
+// neighbor is then exactly w * 0 = +-0, so the `!dirichlet[j]` guards drop
+// out of the vector body, and a Gauss-Seidel candidate at a Dirichlet cell
+// is inv_diag(=0) * (...) = +-0, so writing it back cannot break the
+// invariant either. Red-black GS stays a deterministic linear operator: a
+// color's cells only read the opposite color, so packing a full vector of
+// same-color cells (every other complex; two narrow loads + one lane
+// shuffle per operand) and updating all lanes at once reproduces the
+// sequential sweep with no wasted lanes. Complex arithmetic is interleaved
+// (re, im) pairs; one 256-bit vector holds 2 complexes, one 512-bit vector
+// holds 4.
+// ---------------------------------------------------------------------------
+
+struct Stencil {
+  std::size_t nx = 0, ny = 0;
+  const std::uint8_t* dir = nullptr;
+  const Complex* we = nullptr;    // w_east
+  const Complex* wn = nullptr;    // w_north
+  const Complex* diag = nullptr;
+  const Complex* idg = nullptr;   // inv_diag
+};
+
+// One guarded Gauss-Seidel update (any cell, including boundaries): the
+// original scalar semantics, also used for edge columns / boundary rows of
+// the vector paths. Face order e, w, n, s is fixed.
+inline void gs_cell(const Stencil& s, const Complex* rhs, Complex* x, std::size_t ix,
+                    std::size_t iy) {
+  const std::size_t i = iy * s.nx + ix;
+  if (s.dir[i]) return;
+  Complex off{};
+  if (ix + 1 < s.nx && !s.dir[i + 1]) off += s.we[i] * x[i + 1];
+  if (ix > 0 && !s.dir[i - 1]) off += s.we[i - 1] * x[i - 1];
+  if (iy + 1 < s.ny && !s.dir[i + s.nx]) off += s.wn[i] * x[i + s.nx];
+  if (iy > 0 && !s.dir[i - s.nx]) off += s.wn[i - s.nx] * x[i - s.nx];
+  x[i] = s.idg[i] * (rhs[i] + off);
+}
+
+inline void res_cell(const Stencil& s, const Complex* rhs, const Complex* x, Complex* out,
+                     std::size_t ix, std::size_t iy) {
+  const std::size_t i = iy * s.nx + ix;
+  if (s.dir[i]) {
+    out[i] = Complex{};
+    return;
+  }
+  Complex off{};
+  if (ix + 1 < s.nx && !s.dir[i + 1]) off += s.we[i] * x[i + 1];
+  if (ix > 0 && !s.dir[i - 1]) off += s.we[i - 1] * x[i - 1];
+  if (iy + 1 < s.ny && !s.dir[i + s.nx]) off += s.wn[i] * x[i + s.nx];
+  if (iy > 0 && !s.dir[i - s.nx]) off += s.wn[i - s.nx] * x[i - s.nx];
+  out[i] = rhs[i] - (s.diag[i] * x[i] - off);
+}
+
+void gs_color_scalar(const Stencil& s, const Complex* rhs, Complex* x, int color) {
+  for (std::size_t iy = 0; iy < s.ny; ++iy) {
+    for (std::size_t ix = (static_cast<std::size_t>(color) + iy) % 2; ix < s.nx; ix += 2) {
+      gs_cell(s, rhs, x, ix, iy);
+    }
+  }
+}
+
+void residual_scalar(const Stencil& s, const Complex* rhs, const Complex* x, Complex* out) {
+  for (std::size_t iy = 0; iy < s.ny; ++iy) {
+    for (std::size_t ix = 0; ix < s.nx; ++ix) res_cell(s, rhs, x, out, ix, iy);
+  }
+}
+
+void jacobi_axpy_scalar(const Stencil& s, Complex* x, const Complex* scr, double damping) {
+  const std::size_t n = s.nx * s.ny;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!s.dir[i]) x[i] += damping * s.idg[i] * scr[i];
+  }
+}
+
+#if defined(TSVCOD_FIELD_X86_KERNELS)
+
+// GCC's one-operand AVX-512 permute intrinsics expand to masked builtins
+// with an undefined passthrough vector, which trips -Wmaybe-uninitialized
+// at -O2; the passthrough is never selected (mask is all-ones).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// Interleaved complex multiply: (wr*xr - wi*xi, wr*xi + wi*xr) per pair.
+__attribute__((target("avx2,fma"))) inline __m256d cmul256(__m256d w, __m256d x) {
+  const __m256d wr = _mm256_movedup_pd(w);
+  const __m256d wi = _mm256_permute_pd(w, 0xF);
+  const __m256d xs = _mm256_permute_pd(x, 0x5);
+  return _mm256_fmaddsub_pd(wr, x, _mm256_mul_pd(wi, xs));
+}
+
+__attribute__((target("avx512f,avx512dq"))) inline __m512d cmul512(__m512d w, __m512d x) {
+  const __m512d wr = _mm512_movedup_pd(w);
+  const __m512d wi = _mm512_permute_pd(w, 0xFF);
+  const __m512d xs = _mm512_permute_pd(x, 0x55);
+  return _mm512_fmaddsub_pd(wr, x, _mm512_mul_pd(wi, xs));
+}
+
+// Same-color gathers for the GS sweeps: red-black cells sit at every other
+// complex, so two narrow loads packed with one insert/shuffle fill a vector
+// with nothing but current-color cells (or their same-offset neighbors).
+// Complexes at double offsets d and d+4 -> lanes {0,1} and {2,3}.
+__attribute__((target("avx2,fma"))) inline __m256d gather2(const double* p, std::size_t d) {
+  return _mm256_insertf128_pd(_mm256_castpd128_pd256(_mm_loadu_pd(p + d)),
+                              _mm_loadu_pd(p + d + 4), 1);
+}
+
+// Complexes at double offsets d, d+4, d+8, d+12 -> the four 128-bit lanes.
+__attribute__((target("avx512f,avx512dq"))) inline __m512d gather4(const double* p,
+                                                                   std::size_t d) {
+  const __m512d lo = _mm512_loadu_pd(p + d);
+  const __m512d hi = _mm512_loadu_pd(p + d + 8);
+  return _mm512_shuffle_f64x2(lo, hi, _MM_SHUFFLE(2, 0, 2, 0));
+}
+
+__attribute__((target("avx2,fma"))) void gs_color_avx2(const Stencil& s, const Complex* rhs_c,
+                                                       Complex* x_c, int color) {
+  const std::size_t nx = s.nx, ny = s.ny;
+  const double* we = reinterpret_cast<const double*>(s.we);
+  const double* wn = reinterpret_cast<const double*>(s.wn);
+  const double* idg = reinterpret_cast<const double*>(s.idg);
+  const double* rhs = reinterpret_cast<const double*>(rhs_c);
+  double* x = reinterpret_cast<double*>(x_c);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    const std::size_t ix0 = (static_cast<std::size_t>(color) + iy) % 2;
+    if (iy == 0 || iy + 1 == ny || nx < 6) {
+      for (std::size_t ix = ix0; ix < nx; ix += 2) gs_cell(s, rhs_c, x_c, ix, iy);
+      continue;
+    }
+    if (ix0 == 0) gs_cell(s, rhs_c, x_c, 0, iy);
+    // Pack the current-color cells at columns c, c+2 into one full vector;
+    // every lane does useful work. Needs c >= 1 (west neighbor) and
+    // c + 3 <= nx - 1 (east neighbor of the second cell).
+    std::size_t c = ix0 == 1 ? 1 : 2;
+    for (; c + 4 <= nx; c += 4) {
+      const std::size_t d = 2 * (iy * nx + c);
+      __m256d off = cmul256(gather2(we, d), gather2(x, d + 2));
+      off = _mm256_add_pd(off, cmul256(gather2(we, d - 2), gather2(x, d - 2)));
+      off = _mm256_add_pd(off, cmul256(gather2(wn, d), gather2(x, d + 2 * nx)));
+      off = _mm256_add_pd(off, cmul256(gather2(wn, d - 2 * nx), gather2(x, d - 2 * nx)));
+      const __m256d cand = cmul256(gather2(idg, d), _mm256_add_pd(gather2(rhs, d), off));
+      _mm_storeu_pd(x + d, _mm256_castpd256_pd128(cand));
+      _mm_storeu_pd(x + d + 4, _mm256_extractf128_pd(cand, 1));
+    }
+    for (; c < nx; c += 2) gs_cell(s, rhs_c, x_c, c, iy);
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) void gs_color_avx512(const Stencil& s,
+                                                                 const Complex* rhs_c, Complex* x_c,
+                                                                 int color) {
+  const std::size_t nx = s.nx, ny = s.ny;
+  const double* we = reinterpret_cast<const double*>(s.we);
+  const double* wn = reinterpret_cast<const double*>(s.wn);
+  const double* idg = reinterpret_cast<const double*>(s.idg);
+  const double* rhs = reinterpret_cast<const double*>(rhs_c);
+  double* x = reinterpret_cast<double*>(x_c);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    const std::size_t ix0 = (static_cast<std::size_t>(color) + iy) % 2;
+    if (iy == 0 || iy + 1 == ny || nx < 10) {
+      for (std::size_t ix = ix0; ix < nx; ix += 2) gs_cell(s, rhs_c, x_c, ix, iy);
+      continue;
+    }
+    if (ix0 == 0) gs_cell(s, rhs_c, x_c, 0, iy);
+    // Pack the current-color cells at columns c, c+2, c+4, c+6 into one
+    // full vector. Needs c >= 1 (west neighbor) and c + 7 <= nx - 1 (east
+    // neighbor of the last cell).
+    std::size_t c = ix0 == 1 ? 1 : 2;
+    for (; c + 8 <= nx; c += 8) {
+      const std::size_t d = 2 * (iy * nx + c);
+      __m512d off = cmul512(gather4(we, d), gather4(x, d + 2));
+      off = _mm512_add_pd(off, cmul512(gather4(we, d - 2), gather4(x, d - 2)));
+      off = _mm512_add_pd(off, cmul512(gather4(wn, d), gather4(x, d + 2 * nx)));
+      off = _mm512_add_pd(off, cmul512(gather4(wn, d - 2 * nx), gather4(x, d - 2 * nx)));
+      const __m512d cand = cmul512(gather4(idg, d), _mm512_add_pd(gather4(rhs, d), off));
+      _mm_storeu_pd(x + d, _mm512_extractf64x2_pd(cand, 0));
+      _mm_storeu_pd(x + d + 4, _mm512_extractf64x2_pd(cand, 1));
+      _mm_storeu_pd(x + d + 8, _mm512_extractf64x2_pd(cand, 2));
+      _mm_storeu_pd(x + d + 12, _mm512_extractf64x2_pd(cand, 3));
+    }
+    for (; c < nx; c += 2) gs_cell(s, rhs_c, x_c, c, iy);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void residual_avx2(const Stencil& s, const Complex* rhs_c,
+                                                       const Complex* x_c, Complex* out_c) {
+  const std::size_t nx = s.nx, ny = s.ny;
+  const double* we = reinterpret_cast<const double*>(s.we);
+  const double* wn = reinterpret_cast<const double*>(s.wn);
+  const double* dg = reinterpret_cast<const double*>(s.diag);
+  const double* rhs = reinterpret_cast<const double*>(rhs_c);
+  const double* x = reinterpret_cast<const double*>(x_c);
+  double* out = reinterpret_cast<double*>(out_c);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    if (iy == 0 || iy + 1 == ny || nx < 6) {
+      for (std::size_t ix = 0; ix < nx; ++ix) res_cell(s, rhs_c, x_c, out_c, ix, iy);
+      continue;
+    }
+    res_cell(s, rhs_c, x_c, out_c, 0, iy);
+    std::size_t ix = 1;
+    for (; ix + 2 <= nx - 1; ix += 2) {
+      const std::size_t i = iy * nx + ix;
+      const std::size_t d = 2 * i;
+      __m256d off = cmul256(_mm256_loadu_pd(we + d), _mm256_loadu_pd(x + d + 2));
+      off = _mm256_add_pd(off, cmul256(_mm256_loadu_pd(we + d - 2), _mm256_loadu_pd(x + d - 2)));
+      off = _mm256_add_pd(off, cmul256(_mm256_loadu_pd(wn + d), _mm256_loadu_pd(x + d + 2 * nx)));
+      off = _mm256_add_pd(
+          off, cmul256(_mm256_loadu_pd(wn + d - 2 * nx), _mm256_loadu_pd(x + d - 2 * nx)));
+      const __m256d ax = _mm256_sub_pd(cmul256(_mm256_loadu_pd(dg + d), _mm256_loadu_pd(x + d)),
+                                       off);
+      __m256d cand = _mm256_sub_pd(_mm256_loadu_pd(rhs + d), ax);
+      // Dirichlet rows of the residual are identically zero.
+      const long long m0 = s.dir[i] ? -1 : 0;
+      const long long m1 = s.dir[i + 1] ? -1 : 0;
+      cand = _mm256_andnot_pd(_mm256_castsi256_pd(_mm256_set_epi64x(m1, m1, m0, m0)), cand);
+      _mm256_storeu_pd(out + d, cand);
+    }
+    for (; ix < nx; ++ix) res_cell(s, rhs_c, x_c, out_c, ix, iy);
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) void residual_avx512(const Stencil& s,
+                                                                 const Complex* rhs_c,
+                                                                 const Complex* x_c,
+                                                                 Complex* out_c) {
+  const std::size_t nx = s.nx, ny = s.ny;
+  const double* we = reinterpret_cast<const double*>(s.we);
+  const double* wn = reinterpret_cast<const double*>(s.wn);
+  const double* dg = reinterpret_cast<const double*>(s.diag);
+  const double* rhs = reinterpret_cast<const double*>(rhs_c);
+  const double* x = reinterpret_cast<const double*>(x_c);
+  double* out = reinterpret_cast<double*>(out_c);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    if (iy == 0 || iy + 1 == ny || nx < 10) {
+      for (std::size_t ix = 0; ix < nx; ++ix) res_cell(s, rhs_c, x_c, out_c, ix, iy);
+      continue;
+    }
+    res_cell(s, rhs_c, x_c, out_c, 0, iy);
+    std::size_t ix = 1;
+    for (; ix + 4 <= nx - 1; ix += 4) {
+      const std::size_t i = iy * nx + ix;
+      const std::size_t d = 2 * i;
+      __m512d off = cmul512(_mm512_loadu_pd(we + d), _mm512_loadu_pd(x + d + 2));
+      off = _mm512_add_pd(off, cmul512(_mm512_loadu_pd(we + d - 2), _mm512_loadu_pd(x + d - 2)));
+      off = _mm512_add_pd(off, cmul512(_mm512_loadu_pd(wn + d), _mm512_loadu_pd(x + d + 2 * nx)));
+      off = _mm512_add_pd(
+          off, cmul512(_mm512_loadu_pd(wn + d - 2 * nx), _mm512_loadu_pd(x + d - 2 * nx)));
+      const __m512d ax = _mm512_sub_pd(cmul512(_mm512_loadu_pd(dg + d), _mm512_loadu_pd(x + d)),
+                                       off);
+      const __m512d cand = _mm512_sub_pd(_mm512_loadu_pd(rhs + d), ax);
+      __mmask8 free_m = 0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        if (!s.dir[i + k]) free_m = static_cast<__mmask8>(free_m | (0x3u << (2 * k)));
+      }
+      _mm512_storeu_pd(out + d, _mm512_maskz_mov_pd(free_m, cand));
+    }
+    for (; ix < nx; ++ix) res_cell(s, rhs_c, x_c, out_c, ix, iy);
+  }
+}
+
+// x += damping * inv_diag * scratch over the whole array: inv_diag is zero
+// at Dirichlet cells, so the unguarded form adds exactly +-0 there.
+__attribute__((target("avx2,fma"))) void jacobi_axpy_avx2(const Stencil& s, Complex* x_c,
+                                                          const Complex* scr_c, double damping) {
+  const std::size_t nd = 2 * s.nx * s.ny;
+  const double* idg = reinterpret_cast<const double*>(s.idg);
+  const double* scr = reinterpret_cast<const double*>(scr_c);
+  double* x = reinterpret_cast<double*>(x_c);
+  const __m256d vd = _mm256_set1_pd(damping);
+  std::size_t d = 0;
+  for (; d + 4 <= nd; d += 4) {
+    const __m256d t = cmul256(_mm256_loadu_pd(idg + d), _mm256_loadu_pd(scr + d));
+    _mm256_storeu_pd(x + d, _mm256_fmadd_pd(vd, t, _mm256_loadu_pd(x + d)));
+  }
+  for (std::size_t i = d / 2; i < s.nx * s.ny; ++i) x_c[i] += damping * s.idg[i] * scr_c[i];
+}
+
+__attribute__((target("avx512f,avx512dq"))) void jacobi_axpy_avx512(const Stencil& s, Complex* x_c,
+                                                                    const Complex* scr_c,
+                                                                    double damping) {
+  const std::size_t nd = 2 * s.nx * s.ny;
+  const double* idg = reinterpret_cast<const double*>(s.idg);
+  const double* scr = reinterpret_cast<const double*>(scr_c);
+  double* x = reinterpret_cast<double*>(x_c);
+  const __m512d vd = _mm512_set1_pd(damping);
+  std::size_t d = 0;
+  for (; d + 8 <= nd; d += 8) {
+    const __m512d t = cmul512(_mm512_loadu_pd(idg + d), _mm512_loadu_pd(scr + d));
+    _mm512_storeu_pd(x + d, _mm512_fmadd_pd(vd, t, _mm512_loadu_pd(x + d)));
+  }
+  for (std::size_t i = d / 2; i < s.nx * s.ny; ++i) x_c[i] += damping * s.idg[i] * scr_c[i];
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // TSVCOD_FIELD_X86_KERNELS
+
+void gs_color(const Stencil& s, const Complex* rhs, Complex* x, int color) {
+#if defined(TSVCOD_FIELD_X86_KERNELS)
+  switch (simd::active_level()) {
+    case simd::Level::avx512:
+      gs_color_avx512(s, rhs, x, color);
+      return;
+    case simd::Level::avx2:
+      gs_color_avx2(s, rhs, x, color);
+      return;
+    default:
+      break;
+  }
+#endif
+  gs_color_scalar(s, rhs, x, color);
+}
+
+void residual_dispatch(const Stencil& s, const Complex* rhs, const Complex* x, Complex* out) {
+#if defined(TSVCOD_FIELD_X86_KERNELS)
+  switch (simd::active_level()) {
+    case simd::Level::avx512:
+      residual_avx512(s, rhs, x, out);
+      return;
+    case simd::Level::avx2:
+      residual_avx2(s, rhs, x, out);
+      return;
+    default:
+      break;
+  }
+#endif
+  residual_scalar(s, rhs, x, out);
+}
+
+void jacobi_axpy(const Stencil& s, Complex* x, const Complex* scr, double damping) {
+#if defined(TSVCOD_FIELD_X86_KERNELS)
+  switch (simd::active_level()) {
+    case simd::Level::avx512:
+      jacobi_axpy_avx512(s, x, scr, damping);
+      return;
+    case simd::Level::avx2:
+      jacobi_axpy_avx2(s, x, scr, damping);
+      return;
+    default:
+      break;
+  }
+#endif
+  jacobi_axpy_scalar(s, x, scr, damping);
+}
 
 }  // namespace
 
@@ -202,63 +558,52 @@ Multigrid::Workspace Multigrid::make_workspace() const {
 
 void Multigrid::residual(const Level& lv, const std::vector<Complex>& rhs,
                          const std::vector<Complex>& x, std::vector<Complex>& out) const {
-  const std::size_t nx = lv.nx;
-  const std::size_t ny = lv.ny;
-  for (std::size_t iy = 0; iy < ny; ++iy) {
-    for (std::size_t ix = 0; ix < nx; ++ix) {
-      const std::size_t i = iy * nx + ix;
-      if (lv.dirichlet[i]) {
-        out[i] = Complex{};
-        continue;
-      }
-      Complex off{};
-      auto face = [&](std::size_t j, Complex w) {
-        if (!lv.dirichlet[j]) off += w * x[j];
-      };
-      if (ix + 1 < nx) face(i + 1, lv.w_east[i]);
-      if (ix > 0) face(i - 1, lv.w_east[i - 1]);
-      if (iy + 1 < ny) face(i + nx, lv.w_north[i]);
-      if (iy > 0) face(i - nx, lv.w_north[i - nx]);
-      out[i] = rhs[i] - (lv.diag[i] * x[i] - off);
-    }
-  }
+  const Stencil s{lv.nx,          lv.ny,           lv.dirichlet.data(), lv.w_east.data(),
+                  lv.w_north.data(), lv.diag.data(), lv.inv_diag.data()};
+  residual_dispatch(s, rhs.data(), x.data(), out.data());
 }
 
 void Multigrid::smooth(const Level& lv, const std::vector<Complex>& rhs, std::vector<Complex>& x,
                        std::vector<Complex>& scratch, int sweeps) const {
-  const std::size_t nx = lv.nx;
-  const std::size_t ny = lv.ny;
+  const Stencil st{lv.nx,          lv.ny,           lv.dirichlet.data(), lv.w_east.data(),
+                   lv.w_north.data(), lv.diag.data(), lv.inv_diag.data()};
   if (opts_.smoother == MultigridOptions::Smoother::damped_jacobi) {
     for (int s = 0; s < sweeps; ++s) {
-      residual(lv, rhs, x, scratch);
-      for (std::size_t i = 0; i < x.size(); ++i) {
-        if (!lv.dirichlet[i]) x[i] += opts_.jacobi_damping * lv.inv_diag[i] * scratch[i];
-      }
+      residual_dispatch(st, rhs.data(), x.data(), scratch.data());
+      jacobi_axpy(st, x.data(), scratch.data(), opts_.jacobi_damping);
     }
     return;
   }
   // Red-black Gauss-Seidel: fixed (color, row-major) sweep order makes the
   // smoother a deterministic linear operator regardless of thread count.
   for (int s = 0; s < sweeps; ++s) {
-    for (int color = 0; color < 2; ++color) {
-      for (std::size_t iy = 0; iy < ny; ++iy) {
-        const std::size_t ix0 = (static_cast<std::size_t>(color) + iy) % 2;
-        for (std::size_t ix = ix0; ix < nx; ix += 2) {
-          const std::size_t i = iy * nx + ix;
-          if (lv.dirichlet[i]) continue;
-          Complex off{};
-          auto face = [&](std::size_t j, Complex w) {
-            if (!lv.dirichlet[j]) off += w * x[j];
-          };
-          if (ix + 1 < nx) face(i + 1, lv.w_east[i]);
-          if (ix > 0) face(i - 1, lv.w_east[i - 1]);
-          if (iy + 1 < ny) face(i + nx, lv.w_north[i]);
-          if (iy > 0) face(i - nx, lv.w_north[i - nx]);
-          x[i] = lv.inv_diag[i] * (rhs[i] + off);
-        }
-      }
-    }
+    for (int color = 0; color < 2; ++color) gs_color(st, rhs.data(), x.data(), color);
   }
+}
+
+void Multigrid::apply_smoother(const std::vector<Complex>& rhs, std::vector<Complex>& x,
+                               std::vector<Complex>& scratch, int sweeps) const {
+  const Level& lv = levels_.front();
+  const std::size_t n = lv.nx * lv.ny;
+  if (rhs.size() != n || x.size() != n || scratch.size() != n) {
+    throw std::invalid_argument("Multigrid::apply_smoother: vectors must be nx*ny");
+  }
+  // Establish the x[dirichlet] == 0 invariant the kernels rely on (v_cycle
+  // maintains it internally; an external caller may not).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lv.dirichlet[i]) x[i] = Complex{};
+  }
+  smooth(lv, rhs, x, scratch, sweeps);
+}
+
+void Multigrid::apply_residual(const std::vector<Complex>& rhs, const std::vector<Complex>& x,
+                               std::vector<Complex>& out) const {
+  const Level& lv = levels_.front();
+  const std::size_t n = lv.nx * lv.ny;
+  if (rhs.size() != n || x.size() != n || out.size() != n) {
+    throw std::invalid_argument("Multigrid::apply_residual: vectors must be nx*ny");
+  }
+  residual(lv, rhs, x, out);
 }
 
 void Multigrid::solve_coarsest(const std::vector<Complex>& rhs, std::vector<Complex>& x,

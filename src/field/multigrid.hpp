@@ -17,7 +17,11 @@
 // Smoothing is red-black Gauss-Seidel (deterministic fixed sweep order) or
 // damped Jacobi; the coarsest level is a dense complex LU solve. With a zero
 // initial guess per level the V-cycle is one fixed linear operator, which
-// preconditioned BiCGStab requires.
+// preconditioned BiCGStab requires. Both smoothers and the residual run
+// through the shared src/simd runtime dispatch: AVX2/AVX-512 stencil kernels
+// cover interior rows (relying on x == 0 at Dirichlet cells, which the
+// V-cycle maintains), scalar code covers boundaries and other hosts; every
+// dispatch level computes the same linear operator up to eps-scale rounding.
 //
 // Thread-safety: `v_cycle` is const and re-entrant given a caller-owned
 // Workspace, so the per-conductor extraction solves can run concurrently on
@@ -71,6 +75,18 @@ class Multigrid {
   /// from a zero initial guess. `r` and `z` are full-grid (nx*ny) vectors;
   /// Dirichlet entries of `r` are ignored and come back zero in `z`.
   void v_cycle(const std::vector<Complex>& r, std::vector<Complex>& z, Workspace& ws) const;
+
+  /// Apply `sweeps` passes of the configured smoother to the finest level,
+  /// in place on `x` (full-grid vectors; `scratch` is Jacobi workspace).
+  /// Dirichlet entries of `x` are zeroed on entry — the invariant the SIMD
+  /// stencil kernels rely on, which v_cycle maintains internally. Exposed
+  /// for the dispatch-equality tests and the smoother benchmarks.
+  void apply_smoother(const std::vector<Complex>& rhs, std::vector<Complex>& x,
+                      std::vector<Complex>& scratch, int sweeps) const;
+  /// Finest-level residual out = rhs - A x (Dirichlet rows come back zero).
+  /// Dirichlet entries of `x` must already be zero.
+  void apply_residual(const std::vector<Complex>& rhs, const std::vector<Complex>& x,
+                      std::vector<Complex>& out) const;
 
   std::size_t levels() const { return levels_.size(); }
   std::size_t coarsest_free_count() const { return levels_.back().free_count; }

@@ -1,0 +1,87 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tsvcod::simd {
+
+namespace {
+
+Level probe() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vpopcntdq")) {
+    return Level::avx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return Level::avx2;
+  if (__builtin_cpu_supports("popcnt")) return Level::popcnt;
+#endif
+  return Level::scalar;
+}
+
+// Programmatic clamp; -1 means "none, defer to TSVCOD_SIMD / detected".
+std::atomic<int> g_forced{-1};
+
+/// TSVCOD_SIMD clamp, parsed once per process. Unset (or empty) means no
+/// clamp, expressed as the top level.
+Level env_clamp() {
+  static const Level cached = [] {
+    const char* v = std::getenv("TSVCOD_SIMD");
+    if (v == nullptr || *v == '\0') return Level::avx512;
+    try {
+      return parse_level(v);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("TSVCOD_SIMD: ") + e.what());
+    }
+  }();
+  return cached;
+}
+
+}  // namespace
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::scalar: return "scalar";
+    case Level::popcnt: return "popcnt";
+    case Level::avx2: return "avx2";
+    case Level::avx512: return "avx512";
+  }
+  return "scalar";
+}
+
+Level parse_level(std::string_view name) {
+  if (name == "scalar") return Level::scalar;
+  if (name == "popcnt") return Level::popcnt;
+  if (name == "avx2") return Level::avx2;
+  if (name == "avx512") return Level::avx512;
+  throw std::invalid_argument("unknown SIMD level '" + std::string(name) +
+                              "' (expected scalar|popcnt|avx2|avx512)");
+}
+
+Level detected_level() noexcept {
+  static const Level cached = probe();
+  return cached;
+}
+
+Level active_level() {
+  const Level detected = detected_level();
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  const Level clamp = forced >= 0 ? static_cast<Level>(forced) : env_clamp();
+  return detected < clamp ? detected : clamp;
+}
+
+void force_level(Level level) noexcept {
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_forced_level() noexcept { g_forced.store(-1, std::memory_order_relaxed); }
+
+std::optional<Level> forced_level() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced < 0) return std::nullopt;
+  return static_cast<Level>(forced);
+}
+
+}  // namespace tsvcod::simd

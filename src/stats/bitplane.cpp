@@ -9,6 +9,7 @@
 
 #include "obs/obs.hpp"
 #include "opt/parallel.hpp"
+#include "simd/dispatch.hpp"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define TSVCOD_HAVE_AVX512_KERNEL 1
@@ -203,20 +204,25 @@ __attribute__((target("avx512f,avx512dq,avx512vpopcntdq,popcnt"))) void block_re
 }
 #endif  // TSVCOD_HAVE_AVX512_KERNEL
 
+// Resolved per block batch through the shared dispatch utility so a
+// TSVCOD_SIMD / force_level() clamp takes effect immediately (the old
+// function-local static froze the choice at first use). The counters are
+// exact integers, so every level is bit-identical by construction; the clamp
+// only trades speed.
 BlockFn block_fn() {
-  static const BlockFn fn = [] {
+  switch (simd::active_level()) {
 #if defined(TSVCOD_HAVE_AVX512_KERNEL)
-    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
-        __builtin_cpu_supports("avx512vpopcntdq")) {
+    case simd::Level::avx512:
       return &block_reduce_avx512;
-    }
 #endif
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-    if (__builtin_cpu_supports("popcnt")) return &block_reduce_popcnt;
+    case simd::Level::avx2:
+    case simd::Level::popcnt:
+      return &block_reduce_popcnt;
 #endif
-    return &block_reduce_portable;
-  }();
-  return fn;
+    default:
+      return &block_reduce_portable;
+  }
 }
 
 [[noreturn]] void throw_too_few_words(std::size_t width, std::uint64_t words) {

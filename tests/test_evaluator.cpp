@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/link.hpp"
@@ -132,6 +134,77 @@ TEST(Evaluator, RejectsSizeMismatch) {
   const auto st = make_stats(6, 7);  // 6 bits vs 4-line model
   EXPECT_THROW(core::PowerEvaluator(st, model, core::SignedPermutation::identity(6)),
                std::invalid_argument);
+}
+
+// Out-of-range bit indices must throw (naming the index and the width) and
+// leave the evaluator untouched — including swap_bits(a, a) with a bad `a`,
+// which used to hit the no-op early return before any validation.
+TEST(Evaluator, RejectsOutOfRangeBits) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const auto model = tsv::fit_from_analytic(geom);
+  const auto st = make_stats(4, 8);
+  core::PowerEvaluator ev(st, model, core::SignedPermutation::identity(4));
+  const double p0 = ev.power();
+
+  const auto expect_throws = [&](auto&& fn) {
+    try {
+      fn();
+      FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range& e) {
+      EXPECT_NE(std::string(e.what()).find("4"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("width"), std::string::npos) << e.what();
+    }
+  };
+  expect_throws([&] { ev.swap_bits(0, 4); });
+  expect_throws([&] { ev.swap_bits(4, 0); });
+  expect_throws([&] { ev.swap_bits(4, 4); });
+  expect_throws([&] { ev.toggle_inversion(4); });
+  std::vector<core::PowerEvaluator::Move> bad{{false, 0, 4}};
+  std::vector<double> out(1);
+  expect_throws([&] { ev.score_moves(bad, out); });
+
+  EXPECT_EQ(ev.power(), p0);
+  EXPECT_NEAR(ev.power(), ev.recompute(), 1e-9 * std::abs(p0));
+}
+
+// Batched pricing must agree with actually applying each move, and must not
+// mutate the evaluator.
+TEST(Evaluator, ScoreMovesMatchesApply) {
+  auto geom = phys::TsvArrayGeometry::itrs2018_relaxed(3, 3);
+  const auto model = tsv::fit_from_analytic(geom);
+  const auto st = make_stats(9, 21);
+  core::PowerEvaluator ev(st, model, core::SignedPermutation::identity(9));
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::size_t> pick(0, 8);
+  // Walk away from the identity first so line state differs from bit state.
+  for (int i = 0; i < 40; ++i) ev.swap_bits(pick(rng), pick(rng));
+  for (int i = 0; i < 10; ++i) ev.toggle_inversion(pick(rng));
+
+  std::vector<core::PowerEvaluator::Move> moves;
+  for (int i = 0; i < 64; ++i) {
+    if (rng() % 3 == 0) {
+      moves.push_back({true, pick(rng), 0});
+    } else {
+      moves.push_back({false, pick(rng), pick(rng)});
+    }
+  }
+  std::vector<double> scores(moves.size());
+  const double p0 = ev.power();
+  ev.score_moves(moves, scores);
+  EXPECT_EQ(ev.power(), p0);  // scoring is const
+
+  const double scale = std::abs(p0) + 1e-30;
+  for (std::size_t k = 0; k < moves.size(); ++k) {
+    const double applied =
+        moves[k].is_toggle ? ev.toggle_inversion(moves[k].a) : ev.swap_bits(moves[k].a, moves[k].b);
+    EXPECT_NEAR(scores[k] / scale, applied / scale, 1e-10) << "move " << k;
+    // Undo (moves are self-inverse) so every score is judged from the same state.
+    if (moves[k].is_toggle) {
+      ev.toggle_inversion(moves[k].a);
+    } else {
+      ev.swap_bits(moves[k].a, moves[k].b);
+    }
+  }
 }
 
 // The optimizer built on the evaluator must still beat/match a dense-eval

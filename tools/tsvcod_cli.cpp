@@ -20,6 +20,7 @@
 //   tsvcod_cli evaluate --model m.txt --trace bus.txt --assignment assignment.txt
 //   tsvcod_cli convert --trace bus.txt --width 16 --out bus.tsvb
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -36,6 +37,7 @@
 #include "field/extractor.hpp"
 #include "obs/obs.hpp"
 #include "opt/parallel.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/ingest.hpp"
 #include "streams/binary_trace.hpp"
 #include "streams/trace_io.hpp"
@@ -54,6 +56,10 @@ class Args {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) throw std::runtime_error("expected --flag, got: " + key);
       key = key.substr(2);
+      if (key == "verbose") {  // boolean flag, takes no value
+        values_[key] = "1";
+        continue;
+      }
       if (i + 1 >= argc) throw std::runtime_error("missing value for --" + key);
       values_[key] = argv[++i];
     }
@@ -397,6 +403,10 @@ void usage() {
       "                results are identical at every thread count)\n"
       "               [--preconditioner jacobi|multigrid]  (field solves; default\n"
       "                multigrid, or the TSVCOD_PRECONDITIONER env override)\n"
+      "               [--simd scalar|popcnt|avx2|avx512]  clamp the SIMD dispatch\n"
+      "                level (wins over the TSVCOD_SIMD env; never raises above\n"
+      "                what the CPU supports; results are level-invariant)\n"
+      "               [--verbose]  report the resolved SIMD level and thread count\n"
       "               [--trace-out FILE]    write a Chrome/Perfetto trace of the run\n"
       "               [--metrics-out FILE]  write the metrics registry as JSON\n"
       "                (TSVCOD_TRACE / TSVCOD_METRICS env set the same outputs)\n"
@@ -428,10 +438,26 @@ int main(int argc, char** argv) {
     // Fail fast on a malformed TSVCOD_THREADS (clear error up front instead
     // of a surprise at the first parallel section).
     (void)opt::default_threads();
+    // SIMD level: the --simd flag wins over the TSVCOD_SIMD env clamp; both
+    // only ever lower the detected level. Evaluating active_level() here
+    // fails fast on a malformed env value too.
+    if (args.has("simd")) simd::force_level(simd::parse_level(args.str("simd")));
+    (void)simd::active_level();
     // Observability: env first, explicit flags override.
     obs::init_from_env();
     if (args.has("trace-out")) obs::set_trace_path(args.str("trace-out"));
     if (args.has("metrics-out")) obs::set_metrics_path(args.str("metrics-out"));
+
+    if (args.has("verbose")) {
+      const simd::Level active = simd::active_level();
+      const simd::Level detected = simd::detected_level();
+      std::printf("simd level   : %s (detected %s%s)\n", simd::level_name(active),
+                  simd::level_name(detected),
+                  active == detected ? ""
+                  : args.has("simd") ? ", clamped by --simd"
+                                     : ", clamped by TSVCOD_SIMD");
+      std::printf("threads      : %d\n", std::max(1, opt::resolve_threads(threads_from(args))));
+    }
 
     int rc = 2;
     if (cmd == "extract") rc = cmd_extract(args);
