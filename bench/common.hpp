@@ -1,9 +1,12 @@
 #pragma once
 // Shared helpers for the experiment harnesses: consistent study options,
-// stable-line handling and table printing.
+// stable-line handling, table printing and the standard BENCH JSON shape.
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,5 +45,74 @@ inline void print_header(const std::string& title, const std::string& paper_note
   std::printf("\n=== %s ===\n", title.c_str());
   if (!paper_note.empty()) std::printf("paper: %s\n", paper_note.c_str());
 }
+
+/// Standard BENCH JSON writer: `{"bench": NAME, <scalar params>, "results":
+/// [rows]}` — the shape every committed BENCH_*.json uses and the one
+/// `tsvcod_benchdiff` understands (top-level scalars are run *parameters*
+/// and are excluded from regression gating; row fields are the metrics,
+/// keyed by the row's "width"/"name"). Integer-valued numbers are written
+/// without an exponent so committed baselines stay human-diffable.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchJson& param(const std::string& key, double value) {
+    params_ += ",\n  \"" + key + "\": " + number(value);
+    return *this;
+  }
+  BenchJson& param(const std::string& key, const std::string& value) {
+    params_ += ",\n  \"" + key + "\": \"" + value + "\"";
+    return *this;
+  }
+
+  /// Start a result row; subsequent field() calls attach to it.
+  BenchJson& begin_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchJson& field(const std::string& key, double value) {
+    return raw_field(key, number(value));
+  }
+  BenchJson& field(const std::string& key, bool value) {
+    return raw_field(key, value ? "true" : "false");
+  }
+  BenchJson& field(const std::string& key, const std::string& value) {
+    return raw_field(key, "\"" + value + "\"");
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("bench: cannot open " + path + " for writing");
+    os << "{\n  \"bench\": \"" << bench_ << "\"" << params_ << ",\n  \"results\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << "    {" << rows_[r] << "}" << (r + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    if (!os) throw std::runtime_error("bench: write failed: " + path);
+  }
+
+ private:
+  static std::string number(double v) {
+    char buf[40];
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.7g", v);
+    }
+    return buf;
+  }
+
+  BenchJson& raw_field(const std::string& key, const std::string& rendered) {
+    if (rows_.empty()) throw std::logic_error("bench: field() before begin_row()");
+    std::string& row = rows_.back();
+    if (!row.empty()) row += ", ";
+    row += "\"" + key + "\": " + rendered;
+    return *this;
+  }
+
+  std::string bench_;
+  std::string params_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace tsvcod::bench

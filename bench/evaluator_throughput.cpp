@@ -106,7 +106,11 @@ int main(int argc, char** argv) {
   };
   const Shape shapes[] = {{2, 4}, {4, 4}, {4, 8}, {8, 8}};
 
-  std::string rows_json;
+  bench::BenchJson doc("evaluator_throughput");
+  doc.param("moves", static_cast<double>(n_moves))
+      .param("reps", reps)
+      .param("block", static_cast<double>(kBlock))
+      .param("simd_level", std::string(simd::level_name(simd::active_level())));
   bool all_ok = true;
   for (const auto& sh : shapes) {
     const std::size_t width = sh.rows * sh.cols;
@@ -179,23 +183,18 @@ int main(int argc, char** argv) {
     std::printf("%6zu %16.3e %16.3e %16.3e %9.1fx %9.1fx %6s\n", width, apply_mps,
                 batch_scalar_mps, batch_simd_mps, batch_spd, simd_spd, ok ? "yes" : "NO");
 
-    char row[512];
-    std::snprintf(row, sizeof(row),
-                  "%s    {\"width\": %zu, \"apply_moves_per_sec\": %.6e, "
-                  "\"batch_scalar_moves_per_sec\": %.6e, \"batch_simd_moves_per_sec\": %.6e, "
-                  "\"speedup_batch\": %.3f, \"speedup_simd\": %.3f, \"ok\": %s}",
-                  rows_json.empty() ? "" : ",\n", width, apply_mps, batch_scalar_mps,
-                  batch_simd_mps, batch_spd, simd_spd, ok ? "true" : "false");
-    rows_json += row;
+    doc.begin_row()
+        .field("width", static_cast<double>(width))
+        .field("apply_moves_per_sec", apply_mps)
+        .field("batch_scalar_moves_per_sec", batch_scalar_mps)
+        .field("batch_simd_moves_per_sec", batch_simd_mps)
+        .field("speedup_batch", batch_spd)
+        .field("speedup_simd", simd_spd)
+        .field("ok", ok);
     if (sink == 0.12345) std::printf("(unreachable %f)\n", sink);  // keep the work alive
   }
 
-  std::ofstream f(out);
-  f << "{\n  \"bench\": \"evaluator_throughput\",\n  \"moves\": " << n_moves
-    << ",\n  \"reps\": " << reps << ",\n  \"block\": " << kBlock << ",\n  \"simd_level\": \""
-    << simd::level_name(simd::active_level()) << "\",\n  \"results\": [\n"
-    << rows_json << "\n  ]\n}\n";
-  f.close();
+  doc.write(out);
   std::printf("\nBENCH {\"bench\": \"evaluator_throughput\", \"out\": \"%s\", \"ok\": %s}\n",
               out.c_str(), all_ok ? "true" : "false");
   return all_ok ? 0 : 1;

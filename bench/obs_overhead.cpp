@@ -12,26 +12,31 @@
 #include "core/link.hpp"
 #include "field/extractor.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "streams/random_streams.hpp"
 
 using namespace tsvcod;
 
 namespace {
 
-enum class Mode { disabled, metrics, tracing };
+enum class Mode { disabled, metrics, tracing, profiling };
 
 void apply(Mode mode) {
   obs::enable_tracing(mode == Mode::tracing);
   obs::enable_metrics(mode == Mode::metrics);
+  obs::enable_profiling(mode == Mode::profiling);
   obs::reset_trace();
   obs::reset_metrics();
+  obs::reset_profile();
 }
 
 void teardown() {
   obs::enable_tracing(false);
   obs::enable_metrics(false);
+  obs::enable_profiling(false);
   obs::reset_trace();
   obs::reset_metrics();
+  obs::reset_profile();
 }
 
 // The annealing hot loop: the per-iteration instrumentation is a hoisted
@@ -114,15 +119,32 @@ void BM_EnabledMetricAdd(benchmark::State& state) {
   teardown();
 }
 
+// Per-operation cost of a *profiled* span: node lookup (fast path: cached
+// child under the tree mutex only on first visit), two clock reads and a
+// perf-group read when hardware counters are available. Spans stay at solve
+// and chain granularity, so this budget is paid thousands — not millions —
+// of times per run.
+void BM_EnabledSpanProfiled(benchmark::State& state) {
+  apply(Mode::profiling);
+  for (auto _ : state) {
+    obs::Span span("bench.profiled");
+    benchmark::DoNotOptimize(&span);
+  }
+  teardown();
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Annealing, disabled, Mode::disabled)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Annealing, metrics, Mode::metrics)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Annealing, tracing, Mode::tracing)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Annealing, profiling, Mode::profiling)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Extraction, disabled, Mode::disabled)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Extraction, metrics, Mode::metrics)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Extraction, tracing, Mode::tracing)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Extraction, profiling, Mode::profiling)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DisabledSpan);
 BENCHMARK(BM_DisabledCounterAndMetric);
 BENCHMARK(BM_EnabledSpan);
 BENCHMARK(BM_EnabledMetricAdd);
+BENCHMARK(BM_EnabledSpanProfiled);

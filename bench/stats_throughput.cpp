@@ -148,7 +148,10 @@ int main(int argc, char** argv) {
   std::printf("%6s %16s %16s %16s %10s %10s %6s\n", "width", "scalar_w/s", "bitplane_w/s",
               "parallel_w/s", "speedup", "par_spd", "ident");
 
-  std::string rows;
+  bench::BenchJson doc("stats_throughput");
+  doc.param("words", static_cast<double>(n))
+      .param("reps", reps)
+      .param("threads", threads);
   bool all_identical = true;
   for (const std::size_t width : {std::size_t{16}, std::size_t{32}, std::size_t{64}}) {
     const auto words = make_trace(width, n);
@@ -167,22 +170,17 @@ int main(int argc, char** argv) {
     std::printf("%6zu %16.3e %16.3e %16.3e %9.1fx %9.1fx %6s\n", width, scalar_wps, bitplane_wps,
                 parallel_wps, speedup, par_speedup, ident ? "yes" : "NO");
 
-    char row[512];
-    std::snprintf(row, sizeof(row),
-                  "%s    {\"width\": %zu, \"scalar_words_per_sec\": %.6e, "
-                  "\"bitplane_words_per_sec\": %.6e, \"parallel_words_per_sec\": %.6e, "
-                  "\"speedup_bitplane\": %.3f, \"speedup_parallel\": %.3f, "
-                  "\"bit_identical\": %s}",
-                  rows.empty() ? "" : ",\n", width, scalar_wps, bitplane_wps, parallel_wps,
-                  speedup, par_speedup, ident ? "true" : "false");
-    rows += row;
+    doc.begin_row()
+        .field("width", static_cast<double>(width))
+        .field("scalar_words_per_sec", scalar_wps)
+        .field("bitplane_words_per_sec", bitplane_wps)
+        .field("parallel_words_per_sec", parallel_wps)
+        .field("speedup_bitplane", speedup)
+        .field("speedup_parallel", par_speedup)
+        .field("bit_identical", ident);
   }
 
-  std::ofstream f(out);
-  f << "{\n  \"bench\": \"stats_throughput\",\n  \"words\": " << n
-    << ",\n  \"reps\": " << reps << ",\n  \"threads\": " << threads
-    << ",\n  \"results\": [\n" << rows << "\n  ]\n}\n";
-  f.close();
+  doc.write(out);
   std::printf("\nBENCH {\"bench\": \"stats_throughput\", \"out\": \"%s\", \"bit_identical\": %s}\n",
               out.c_str(), all_identical ? "true" : "false");
   return all_identical ? 0 : 1;

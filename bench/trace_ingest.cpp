@@ -106,7 +106,10 @@ int main(int argc, char** argv) {
   std::printf("%6s %14s %14s %14s %14s %8s %6s\n", "width", "text_parse", "text_e2e",
               "tsvb_open", "tsvb_e2e", "ratio", "ident");
 
-  std::string rows;
+  bench::BenchJson doc("trace_ingest");
+  doc.param("words", static_cast<double>(n))
+      .param("reps", reps)
+      .param("threads", threads);
   bool all_identical = true;
   for (const std::size_t width : {std::size_t{32}, std::size_t{64}}) {
     const auto words = make_trace(width, n);
@@ -140,25 +143,20 @@ int main(int argc, char** argv) {
     std::printf("%6zu %14.3e %14.3e %14.3e %14.3e %7.1fx %6s\n", width, text_parse_wps,
                 text_e2e_wps, bin_open_wps, bin_e2e_wps, ratio, ident ? "yes" : "NO");
 
-    char row[512];
-    std::snprintf(row, sizeof(row),
-                  "%s    {\"width\": %zu, \"text_parse_words_per_sec\": %.6e, "
-                  "\"text_e2e_words_per_sec\": %.6e, \"tsvb_open_words_per_sec\": %.6e, "
-                  "\"tsvb_e2e_words_per_sec\": %.6e, \"e2e_speedup\": %.3f, "
-                  "\"bit_identical\": %s}",
-                  rows.empty() ? "" : ",\n", width, text_parse_wps, text_e2e_wps, bin_open_wps,
-                  bin_e2e_wps, ratio, ident ? "true" : "false");
-    rows += row;
+    doc.begin_row()
+        .field("width", static_cast<double>(width))
+        .field("text_parse_words_per_sec", text_parse_wps)
+        .field("text_e2e_words_per_sec", text_e2e_wps)
+        .field("tsvb_open_words_per_sec", bin_open_wps)
+        .field("tsvb_e2e_words_per_sec", bin_e2e_wps)
+        .field("e2e_speedup", ratio)
+        .field("bit_identical", ident);
 
     std::remove(tpath.c_str());
     std::remove(bpath.c_str());
   }
 
-  std::ofstream f(out);
-  f << "{\n  \"bench\": \"trace_ingest\",\n  \"words\": " << n << ",\n  \"reps\": " << reps
-    << ",\n  \"threads\": " << threads << ",\n  \"results\": [\n"
-    << rows << "\n  ]\n}\n";
-  f.close();
+  doc.write(out);
   std::printf("\nBENCH {\"bench\": \"trace_ingest\", \"out\": \"%s\", \"bit_identical\": %s}\n",
               out.c_str(), all_identical ? "true" : "false");
   return all_identical ? 0 : 1;

@@ -2,6 +2,7 @@
 
 #include "core/evaluator.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "opt/parallel.hpp"
 
 #include <algorithm>
@@ -47,7 +48,7 @@ ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
                        const std::vector<std::size_t>& invertible_bits, std::uint64_t seed,
                        std::size_t chain_index) {
   obs::Span span("opt.chain");
-  const bool tracing = span.active();
+  const bool tracing = span.traced();
   // Per-chain counter-track names keep concurrent chains on separate tracks.
   std::string track_power, track_temp;
   if (tracing) {
@@ -166,6 +167,8 @@ ChainOutcome run_chain(const stats::SwitchingStats& bit_stats,
                   ",\"accepted\":" + std::to_string(accepted) +
                   ",\"best_power\":" + obs::json_number(best_power));
   }
+  obs::profile_work("evaluations", evaluations);
+  obs::profile_work("accepted", accepted);
   // Exact final power (the incremental value only drifts at float epsilon);
   // chains are compared on this exact value so the best-of reduction is
   // independent of per-chain accumulation order.
@@ -223,12 +226,14 @@ OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
     obs::metric_set("opt.best_power", outcomes[best_chain].power);
     obs::metric_set("opt.best_chain", static_cast<double>(best_chain));
   }
-  if (span.active()) {
+  if (span.traced()) {
     span.set_args("\"chains\":" + std::to_string(chains) +
                   ",\"evaluations\":" + std::to_string(evaluations) +
                   ",\"best_chain\":" + std::to_string(best_chain) +
                   ",\"best_power\":" + obs::json_number(outcomes[best_chain].power));
   }
+  obs::profile_work("chains", chains);
+  obs::profile_work("evaluations", evaluations);
   return {std::move(outcomes[best_chain].assignment), outcomes[best_chain].power, evaluations};
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "opt/parallel.hpp"
 #include "phys/constants.hpp"
 #include "phys/depletion.hpp"
@@ -190,10 +191,12 @@ CapacitanceResult CapacitanceExtractor::extract(std::span<const double> probabil
     obs::metric_set("field.extract.last_point_iterations",
                     static_cast<double>(point_iterations));
   }
-  if (span.active()) {
+  if (span.traced()) {
     span.set_args("\"conductors\":" + std::to_string(n) + ",\"warm_started\":" +
                   std::to_string(warm) + ",\"iterations\":" + std::to_string(point_iterations));
   }
+  obs::profile_work("solves", n);
+  obs::profile_work("warm_started", warm);
 
   if (!opts_.allow_nonconverged && !out.all_converged()) throw_if_nonconverged(out);
 

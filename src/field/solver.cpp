@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "phys/constants.hpp"
 
 namespace tsvcod::field {
@@ -155,7 +156,7 @@ std::vector<Complex> FieldProblem::rhs(std::int32_t active) const {
 std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOptions& opts,
                                          std::span<const Complex> phi0, SolveStats* stats) const {
   obs::Span span("field.solve");
-  const bool tracing = span.active();
+  const bool tracing = span.traced();
   std::vector<double> residual_history;  // per-iteration, trace-only
   long long vcycles = 0;
   const std::size_t nu = free_cells_.size();
@@ -343,6 +344,8 @@ std::vector<Complex> FieldProblem::solve(std::int32_t active, const SolverOption
     }
     span.set_args(std::move(args));
   }
+  obs::profile_work("iterations", static_cast<std::uint64_t>(it));
+  if (vcycles > 0) obs::profile_work("vcycles", static_cast<std::uint64_t>(vcycles));
 
   // Scatter to the full grid, Dirichlet values included.
   std::vector<Complex> phi(grid_.size(), Complex{});

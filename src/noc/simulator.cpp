@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 
 namespace tsvcod::noc {
 
@@ -124,12 +125,14 @@ SimStats NocSimulator::run(std::size_t cycles) {
     obs::metric_set("noc.mean_latency", s.mean_latency);
     obs::metric_set("noc.max_queued", static_cast<double>(max_queued_));
   }
-  if (span.active()) {
+  if (span.traced()) {
     span.set_args("\"cycles\":" + std::to_string(cycles) +
                   ",\"injected\":" + std::to_string(injected_ - injected_before) +
                   ",\"delivered\":" + std::to_string(delivered_ - delivered_before) +
                   ",\"flit_hops\":" + std::to_string(hops));
   }
+  obs::profile_work("cycles", cycles);
+  obs::profile_work("flit_hops", hops);
   return s;
 }
 

@@ -1,6 +1,7 @@
 #include "obs/obs.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,10 +20,37 @@ struct Gauge {
   std::atomic<double> value{0.0};
 };
 
+/// Fixed-point (value * 2^32) encoding used for the histogram sum: integer
+/// adds are commutative, so the total — like everything else in the registry
+/// — is bit-identical at any thread count, and exact for integer-valued
+/// observations. Values are clamped to ±2^93 pre-scaling so ~2^34
+/// observations cannot overflow the 128-bit accumulator.
+__int128 to_sum_fixed(double v) {
+  constexpr long double kScale = 4294967296.0L;  // 2^32
+  constexpr long double kLimit = 9.903520314283042e27L;  // 2^93
+  long double s = static_cast<long double>(v) * kScale;
+  if (s > kLimit) s = kLimit;
+  if (s < -kLimit) s = -kLimit;
+  return static_cast<__int128>(s >= 0 ? s + 0.5L : s - 0.5L);  // round half away
+}
+
+double from_sum_fixed(__int128 fp) {
+  return static_cast<double>(static_cast<long double>(fp) / 4294967296.0L);
+}
+
 struct Histogram {
   std::vector<double> bounds;                           // upper edges, ascending
   std::vector<std::atomic<std::uint64_t>> bucket_counts;  // bounds.size() + 1 (last = +inf)
   std::atomic<std::uint64_t> count{0};
+
+  // min/max/sum over *finite* observations; order-independent (min/max are
+  // exact doubles, sum is commutative fixed-point), hence thread-count
+  // invariant like the bucket counts.
+  std::mutex stats_mu;
+  bool has_finite = false;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  __int128 sum_fixed = 0;
 
   explicit Histogram(std::span<const double> edges)
       : bounds(edges.begin(), edges.end()), bucket_counts(bounds.size() + 1) {
@@ -38,6 +66,13 @@ struct Histogram {
     while (b < bounds.size() && v > bounds[b]) ++b;
     bucket_counts[b].fetch_add(1, std::memory_order_relaxed);
     count.fetch_add(1, std::memory_order_relaxed);
+    if (std::isfinite(v)) {
+      std::lock_guard<std::mutex> lk(stats_mu);
+      if (!has_finite || v < min_value) min_value = v;
+      if (!has_finite || v > max_value) max_value = v;
+      has_finite = true;
+      sum_fixed += to_sum_fixed(v);
+    }
   }
 };
 
@@ -140,7 +175,13 @@ std::string metrics_to_json() {
       if (i) out += ',';
       out += std::to_string(h->bucket_counts[i].load(std::memory_order_relaxed));
     }
-    out += "],\"count\":" + std::to_string(h->count.load(std::memory_order_relaxed)) + "}";
+    {
+      std::lock_guard<std::mutex> stats_lk(h->stats_mu);
+      out += "],\"min\":" + (h->has_finite ? json_number(h->min_value) : "null");
+      out += ",\"max\":" + (h->has_finite ? json_number(h->max_value) : "null");
+      out += ",\"sum\":" + (h->has_finite ? json_number(from_sum_fixed(h->sum_fixed)) : "null");
+    }
+    out += ",\"count\":" + std::to_string(h->count.load(std::memory_order_relaxed)) + "}";
   }
   out += "}}";
   return out;

@@ -1,8 +1,9 @@
 #pragma once
-// Structured observability layer: Chrome-trace-event tracing plus a metrics
-// registry, both runtime-toggled and compiled so that the *disabled* path is
-// one relaxed atomic load and a branch — cheap enough to leave in every hot
-// loop (bench/obs_overhead measures it).
+// Structured observability layer: Chrome-trace-event tracing, a metrics
+// registry and a span-tree profiler (obs/profile.hpp), all runtime-toggled
+// and compiled so that the *disabled* path is a relaxed atomic load and a
+// branch — cheap enough to leave in every hot loop (bench/obs_overhead
+// measures it).
 //
 // Tracing (`Span`, `instant`, `counter`) appends to per-thread buffers: a
 // worker only ever touches its own buffer (one uncontended per-buffer mutex,
@@ -35,28 +36,87 @@ namespace tsvcod::obs {
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
 extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_profile_enabled;
+
+struct ProfileNode;  // span-tree node (obs/profile.cpp)
+
+/// Per-span profiler state carried inside `Span`: the tree node the span
+/// accumulates into, the steady-clock start, and the hardware-counter
+/// snapshot at begin (zeros when perf counters are unavailable).
+struct ProfileHandle {
+  ProfileNode* node = nullptr;
+  std::int64_t t0_ns = 0;
+  std::uint64_t perf0[4] = {0, 0, 0, 0};
+  bool perf_ok = false;
+};
+void profile_span_begin(const char* name, ProfileHandle& h);
+void profile_span_end(ProfileHandle& h);
+ProfileNode* profile_adopt(ProfileNode* parent);  // returns the previous current
+void profile_restore(ProfileNode* previous);
 }  // namespace detail
 
 /// One relaxed load: the whole cost of a disabled span/metric call site.
 inline bool trace_enabled() { return detail::g_trace_enabled.load(std::memory_order_relaxed); }
 inline bool metrics_enabled() { return detail::g_metrics_enabled.load(std::memory_order_relaxed); }
+inline bool profiling_enabled() { return detail::g_profile_enabled.load(std::memory_order_relaxed); }
 
 void enable_tracing(bool on = true);
 void enable_metrics(bool on = true);
+void enable_profiling(bool on = true);  // defined in obs/profile.cpp
 
-/// Read TSVCOD_TRACE / TSVCOD_METRICS: a non-empty value enables the layer
-/// and remembers the output path for `flush_outputs`.
+/// Read TSVCOD_TRACE / TSVCOD_METRICS / TSVCOD_PROFILE / TSVCOD_SNAPSHOT
+/// (+ TSVCOD_SNAPSHOT_INTERVAL): a non-empty value enables the layer and
+/// remembers the output path for `flush_outputs` (snapshots start their
+/// background exporter immediately — see obs/snapshot.hpp).
 void init_from_env();
 
 /// Output paths ("" = none). Setting a non-empty path enables the layer.
 void set_trace_path(std::string path);
 void set_metrics_path(std::string path);
+void set_profile_path(std::string path);
 std::string trace_path();
 std::string metrics_path();
+std::string profile_path();
 
-/// Write the trace / metrics JSON to their configured paths (no-op for the
-/// unset ones). Returns true if anything was written.
-bool flush_outputs();
+/// Write the trace / metrics / profile JSON to their configured paths (no-op
+/// for the unset ones; the profile additionally gets a `<path>.folded`
+/// collapsed-stack file). Returns true if anything was written. Every
+/// written JSON document carries a top-level `"clean_exit"` marker: pass
+/// false from error paths (the CLI's RAII flusher does) so partial outputs
+/// are still usable but flagged.
+bool flush_outputs(bool clean_exit = true);
+
+// ---------------------------------------------------------------------------
+// Cross-thread logical parenting for the span-tree profiler
+// ---------------------------------------------------------------------------
+
+/// Opaque handle to the calling thread's current profile node (nullptr when
+/// profiling is disabled or no span is open). Capture it where a task is
+/// *submitted* and wrap the task body in a `ProfileTaskScope` so spans opened
+/// on a worker aggregate under the submitting span — the span tree then
+/// depends only on the logical call structure, never on which thread ran an
+/// item (`opt::parallel_for` does this automatically).
+using ProfileToken = detail::ProfileNode*;
+ProfileToken profile_current();
+
+class ProfileTaskScope {
+ public:
+  explicit ProfileTaskScope(ProfileToken parent) {
+    if (parent) {
+      previous_ = detail::profile_adopt(parent);
+      adopted_ = true;
+    }
+  }
+  ~ProfileTaskScope() {
+    if (adopted_) detail::profile_restore(previous_);
+  }
+  ProfileTaskScope(const ProfileTaskScope&) = delete;
+  ProfileTaskScope& operator=(const ProfileTaskScope&) = delete;
+
+ private:
+  detail::ProfileNode* previous_ = nullptr;
+  bool adopted_ = false;
+};
 
 // ---------------------------------------------------------------------------
 // Tracing
@@ -65,12 +125,14 @@ bool flush_outputs();
 /// Render a double as a JSON number (nonfinite values become null).
 std::string json_number(double v);
 
-/// RAII scoped span: records a Chrome "X" (complete) event on destruction.
-/// A span constructed while tracing is disabled is fully inert.
+/// RAII scoped span: records a Chrome "X" (complete) event on destruction
+/// when tracing is enabled, and aggregates into the span-tree profiler when
+/// profiling is enabled. A span constructed while both are disabled is fully
+/// inert.
 class Span {
  public:
   explicit Span(const char* name) {
-    if (trace_enabled()) begin(name);
+    if (trace_enabled() || profiling_enabled()) begin(name);
   }
   ~Span() {
     if (active_) end();
@@ -79,11 +141,16 @@ class Span {
   Span& operator=(const Span&) = delete;
 
   /// Attach arguments (the *body* of a JSON object, e.g. "\"n\":3") shown in
-  /// the trace viewer. No-op on inert spans.
+  /// the trace viewer. No-op unless a trace event will be emitted.
   void set_args(std::string args_body) {
-    if (active_) args_ = std::move(args_body);
+    if (traced_) args_ = std::move(args_body);
   }
+  /// Live in any layer (tracing or profiling).
   bool active() const { return active_; }
+  /// A trace event will be emitted at destruction — guard trace-only work
+  /// (arg strings, counter tracks) on this, not on `active()`, so profiled
+  /// runs don't pay for tracing they never asked for.
+  bool traced() const { return traced_; }
 
  private:
   void begin(const char* name);
@@ -92,7 +159,9 @@ class Span {
   std::string name_;
   std::string args_;
   std::int64_t start_us_ = 0;
+  detail::ProfileHandle prof_;
   bool active_ = false;
+  bool traced_ = false;
 };
 
 /// Thread-scoped instant event ("i").

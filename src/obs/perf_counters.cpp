@@ -1,0 +1,164 @@
+#include "obs/perf_counters.hpp"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace tsvcod::obs {
+
+const char* perf_counter_name(int index) {
+  switch (index) {
+    case kPerfCycles: return "cycles";
+    case kPerfInstructions: return "instructions";
+    case kPerfLlcMisses: return "llc_misses";
+    case kPerfBranchMisses: return "branch_misses";
+    default: return "unknown";
+  }
+}
+
+#if defined(__linux__)
+
+namespace {
+
+long sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                         unsigned long flags) {
+  return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr make_attr(std::uint32_t type, std::uint64_t config, bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = leader ? 1 : 0;  // group enabled via one ioctl on the leader
+  attr.exclude_kernel = 1;        // works without CAP_PERFMON at paranoid<=1
+  attr.exclude_hv = 1;
+  attr.inherit = 0;
+  attr.read_format =
+      PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+struct CounterSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr CounterSpec kSpecs[kPerfCounterCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+/// One scheduled group per thread. Slots whose event the PMU rejects (e.g.
+/// no LLC-miss event in a VM) just stay at fd -1 and read as 0.
+struct ThreadGroup {
+  int fd[kPerfCounterCount] = {-1, -1, -1, -1};
+  int slot_of_value[kPerfCounterCount] = {-1, -1, -1, -1};  // value index -> counter slot
+  int nr = 0;
+  bool ok = false;
+
+  ThreadGroup() {
+    if (!perf_availability().available) return;
+    for (int i = 0; i < kPerfCounterCount; ++i) {
+      perf_event_attr attr = make_attr(kSpecs[i].type, kSpecs[i].config, fd[kPerfCycles] < 0);
+      const int group = fd[kPerfCycles];
+      const long r = sys_perf_event_open(&attr, 0, -1, group, 0);
+      if (r < 0) {
+        if (i == kPerfCycles) return;  // no leader, no group
+        continue;
+      }
+      fd[i] = static_cast<int>(r);
+      slot_of_value[nr++] = i;
+    }
+    ioctl(fd[kPerfCycles], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    ok = true;
+  }
+
+  ~ThreadGroup() {
+    for (int i = 0; i < kPerfCounterCount; ++i) {
+      if (fd[i] >= 0) close(fd[i]);
+    }
+  }
+};
+
+ThreadGroup& thread_group() {
+  thread_local ThreadGroup group;
+  return group;
+}
+
+}  // namespace
+
+const PerfAvailability& perf_availability() {
+  static const PerfAvailability* avail = [] {
+    auto* a = new PerfAvailability();
+    perf_event_attr attr = make_attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, true);
+    const long fd = sys_perf_event_open(&attr, 0, -1, -1, 0);
+    if (fd >= 0) {
+      close(static_cast<int>(fd));
+      a->available = true;
+      return a;
+    }
+    const int err = errno;
+    a->available = false;
+    a->reason = "perf_event_open(cycles) failed: ";
+    a->reason += std::strerror(err);
+    if (err == EACCES || err == EPERM) {
+      a->reason += " (kernel.perf_event_paranoid too high or missing CAP_PERFMON"
+                   " — common in containers)";
+    } else if (err == ENOENT || err == ENODEV || err == EOPNOTSUPP) {
+      a->reason += " (no PMU exposed — common in VMs)";
+    }
+    return a;
+  }();
+  return *avail;
+}
+
+namespace detail {
+
+bool perf_read_counters(std::uint64_t out[kPerfCounterCount]) {
+  ThreadGroup& group = thread_group();
+  if (!group.ok) return false;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+  std::uint64_t buf[3 + kPerfCounterCount];
+  const ssize_t want = static_cast<ssize_t>((3 + group.nr) * sizeof(std::uint64_t));
+  if (read(group.fd[kPerfCycles], buf, sizeof buf) != want) return false;
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  for (int i = 0; i < kPerfCounterCount; ++i) out[i] = 0;
+  for (int v = 0; v < group.nr; ++v) {
+    std::uint64_t value = buf[3 + v];
+    if (running > 0 && running < enabled) {
+      // Multiplex scaling; long double keeps 64-bit counts exact enough.
+      value = static_cast<std::uint64_t>(static_cast<long double>(value) * enabled / running);
+    }
+    out[group.slot_of_value[v]] = value;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+#else  // !__linux__
+
+const PerfAvailability& perf_availability() {
+  static const PerfAvailability avail{false, "perf_event_open is Linux-only"};
+  return avail;
+}
+
+namespace detail {
+bool perf_read_counters(std::uint64_t[kPerfCounterCount]) { return false; }
+}  // namespace detail
+
+#endif
+
+}  // namespace tsvcod::obs

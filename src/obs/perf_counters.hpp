@@ -1,0 +1,49 @@
+#pragma once
+// Hardware performance counters via perf_event_open, attachable to profiled
+// spans (obs/profile.cpp snapshots them at span begin/end). Four counters are
+// opened per thread as one scheduled group — cycles (leader), instructions,
+// LLC misses, branch misses — and reads are multiplex-scaled by
+// time_enabled/time_running.
+//
+// Graceful degradation is the contract, not an edge case: containers without
+// CAP_PERFMON, kernels with perf_event_paranoid locked down, non-Linux hosts
+// and VMs without a PMU all simply report `available:false` plus a reason
+// string, and the profiler falls back to steady-clock-only timing. Nothing
+// in this header ever throws for an unavailable PMU.
+
+#include <cstdint>
+#include <string>
+
+namespace tsvcod::obs {
+
+/// Index order of the counter group everywhere (ProfileHandle::perf0, node
+/// totals, JSON field order).
+enum PerfCounterIndex : int {
+  kPerfCycles = 0,
+  kPerfInstructions = 1,
+  kPerfLlcMisses = 2,
+  kPerfBranchMisses = 3,
+  kPerfCounterCount = 4,
+};
+
+/// Canonical JSON/report names for the four slots.
+const char* perf_counter_name(int index);
+
+struct PerfAvailability {
+  bool available = false;
+  std::string reason;  // non-empty when unavailable ("" when available)
+};
+
+/// Process-wide probe, computed once on first use (opens and closes a probe
+/// counter). Per-thread groups are only opened when this says available.
+const PerfAvailability& perf_availability();
+
+namespace detail {
+/// Snapshot the calling thread's counter group into out[kPerfCounterCount],
+/// multiplex-scaled. Returns false (out untouched) when perf is unavailable
+/// or the read failed; callers treat that as "no hardware data for this
+/// span", never as an error.
+bool perf_read_counters(std::uint64_t out[kPerfCounterCount]);
+}  // namespace detail
+
+}  // namespace tsvcod::obs

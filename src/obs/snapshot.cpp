@@ -1,0 +1,109 @@
+#include "obs/snapshot.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace tsvcod::obs {
+
+namespace {
+
+struct SnapshotState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread worker;
+  std::string path;
+  SnapshotOptions options;
+  std::uint64_t seq = 0;
+  bool running = false;
+  bool stop_requested = false;
+};
+
+SnapshotState& snapshot_state() {
+  static SnapshotState* state = new SnapshotState();  // leaked: usable at any exit stage
+  return *state;
+}
+
+/// Rotate path -> path.1 -> … -> path.keep, then write via temp + rename so
+/// the live file is always a complete document. Rename failures (e.g. a
+/// missing predecessor) are expected and ignored.
+void write_snapshot_locked(SnapshotState& st, bool final_snapshot) {
+  for (int i = st.options.keep - 1; i >= 1; --i) {
+    std::rename((st.path + "." + std::to_string(i)).c_str(),
+                (st.path + "." + std::to_string(i + 1)).c_str());
+  }
+  if (st.options.keep > 0) std::rename(st.path.c_str(), (st.path + ".1").c_str());
+
+  std::string body = "{\"seq\":" + std::to_string(st.seq++);
+  body += ",\"final\":";
+  body += final_snapshot ? "true" : "false";
+  body += ",\"metrics\":" + metrics_to_json() + "}";
+
+  const std::string tmp = st.path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) return;  // telemetry must never take the process down
+    os << body;
+    if (!os) return;
+  }
+  std::rename(tmp.c_str(), st.path.c_str());
+}
+
+void snapshot_loop() {
+  auto& st = snapshot_state();
+  std::unique_lock<std::mutex> lk(st.mu);
+  while (!st.stop_requested) {
+    st.cv.wait_for(lk, st.options.interval, [&st] { return st.stop_requested; });
+    if (st.stop_requested) break;
+    write_snapshot_locked(st, /*final_snapshot=*/false);
+  }
+}
+
+}  // namespace
+
+void start_snapshots(std::string path, SnapshotOptions options) {
+  stop_snapshots();
+  enable_metrics(true);
+  auto& st = snapshot_state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  st.path = std::move(path);
+  st.options = options;
+  if (st.options.interval.count() <= 0) st.options.interval = std::chrono::milliseconds(1);
+  if (st.options.keep < 0) st.options.keep = 0;
+  st.stop_requested = false;
+  st.running = true;
+  st.worker = std::thread(snapshot_loop);
+}
+
+void stop_snapshots() {
+  auto& st = snapshot_state();
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    if (!st.running) return;
+    st.stop_requested = true;
+  }
+  st.cv.notify_all();
+  st.worker.join();
+  std::lock_guard<std::mutex> lk(st.mu);
+  write_snapshot_locked(st, /*final_snapshot=*/true);
+  st.running = false;
+}
+
+bool snapshots_running() {
+  auto& st = snapshot_state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  return st.running;
+}
+
+std::string snapshot_path() {
+  auto& st = snapshot_state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  return st.running ? st.path : std::string();
+}
+
+}  // namespace tsvcod::obs

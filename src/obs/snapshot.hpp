@@ -1,0 +1,32 @@
+#pragma once
+// Periodic metrics snapshots: a background thread serializes the metrics
+// registry to a file at a fixed interval, rotating older snapshots to
+// `<path>.1` … `<path>.keep` so a crashed or wedged process still leaves a
+// recent history behind. Writes go through a temp file + rename, so readers
+// (tail -f loops, the future tsvcod_serve scraper) never observe a torn
+// document. Each snapshot is `{"seq":N,"final":bool,"metrics":{…}}` where
+// `metrics` is exactly `metrics_to_json()`; `final` is true only for the
+// closing snapshot written by `stop_snapshots`.
+
+#include <chrono>
+#include <string>
+
+namespace tsvcod::obs {
+
+struct SnapshotOptions {
+  std::chrono::milliseconds interval{1000};
+  int keep = 3;  // rotated copies beyond the live file; 0 = overwrite in place
+};
+
+/// Start (or restart with new settings) the background exporter; enables the
+/// metrics layer implicitly since a snapshot of nothing is useless.
+void start_snapshots(std::string path, SnapshotOptions options = {});
+
+/// Stop the exporter: joins the thread, then writes one last snapshot with
+/// `"final":true`. Safe to call when not running.
+void stop_snapshots();
+
+bool snapshots_running();
+std::string snapshot_path();  // "" when not running
+
+}  // namespace tsvcod::obs

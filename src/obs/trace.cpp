@@ -1,6 +1,9 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+
+#include "obs/profile.hpp"
+#include "obs/snapshot.hpp"
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -105,6 +108,7 @@ struct Paths {
   std::mutex mu;
   std::string trace;
   std::string metrics;
+  std::string profile;
 };
 
 Paths& paths() {
@@ -131,6 +135,21 @@ void init_from_env() {
   if (t && *t) set_trace_path(t);
   const char* m = std::getenv("TSVCOD_METRICS");
   if (m && *m) set_metrics_path(m);
+  const char* p = std::getenv("TSVCOD_PROFILE");
+  if (p && *p) set_profile_path(p);
+  const char* s = std::getenv("TSVCOD_SNAPSHOT");
+  if (s && *s) {
+    SnapshotOptions opts;
+    if (const char* iv = std::getenv("TSVCOD_SNAPSHOT_INTERVAL"); iv && *iv) {
+      char* end = nullptr;
+      const double seconds = std::strtod(iv, &end);
+      if (end && *end == '\0' && seconds > 0.0) {
+        opts.interval = std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0));
+      }
+    }
+    enable_metrics(true);
+    start_snapshots(s, opts);
+  }
 }
 
 void set_trace_path(std::string path) {
@@ -159,7 +178,35 @@ std::string metrics_path() {
   return paths().metrics;
 }
 
-bool flush_outputs() {
+void set_profile_path(std::string path) {
+  {
+    std::lock_guard<std::mutex> lk(paths().mu);
+    paths().profile = std::move(path);
+  }
+  if (!profile_path().empty()) enable_profiling(true);
+}
+
+std::string profile_path() {
+  std::lock_guard<std::mutex> lk(paths().mu);
+  return paths().profile;
+}
+
+namespace {
+
+/// Inject the top-level `"clean_exit"` marker as the first key of a rendered
+/// JSON object. Only *written* documents carry it — the in-memory
+/// `*_to_json()` strings stay untouched so their exact shapes remain stable.
+std::string with_clean_exit(const std::string& body, bool clean) {
+  if (body.empty() || body.front() != '{') return body;
+  std::string marker = "\"clean_exit\":";
+  marker += clean ? "true" : "false";
+  if (body.size() >= 2 && body[1] != '}') marker += ',';
+  return "{" + marker + body.substr(1);
+}
+
+}  // namespace
+
+bool flush_outputs(bool clean_exit) {
   bool wrote = false;
   const auto write_file = [](const std::string& path, const std::string& body) {
     std::ofstream os(path);
@@ -168,11 +215,16 @@ bool flush_outputs() {
     if (!os) throw std::runtime_error("obs: write failed: " + path);
   };
   if (trace_enabled() && !trace_path().empty()) {
-    write_file(trace_path(), trace_to_json());
+    write_file(trace_path(), with_clean_exit(trace_to_json(), clean_exit));
     wrote = true;
   }
   if (metrics_enabled() && !metrics_path().empty()) {
-    write_file(metrics_path(), metrics_to_json());
+    write_file(metrics_path(), with_clean_exit(metrics_to_json(), clean_exit));
+    wrote = true;
+  }
+  if (profiling_enabled() && !profile_path().empty()) {
+    write_file(profile_path(), with_clean_exit(profile_to_json(ProfileFields::full), clean_exit));
+    write_file(profile_path() + ".folded", profile_to_collapsed());
     wrote = true;
   }
   return wrote;
@@ -186,20 +238,28 @@ std::string json_number(double v) {
 }
 
 void Span::begin(const char* name) {
-  name_ = name;
-  start_us_ = now_us();
+  traced_ = trace_enabled();
+  if (traced_) {
+    name_ = name;
+    start_us_ = now_us();
+  }
+  if (profiling_enabled()) detail::profile_span_begin(name, prof_);
   active_ = true;
 }
 
 void Span::end() {
-  Event ev;
-  ev.name = std::move(name_);
-  ev.args = std::move(args_);
-  ev.ts_us = start_us_;
-  ev.dur_us = now_us() - start_us_;
-  ev.ph = 'X';
-  push_event(std::move(ev));
+  if (prof_.node != nullptr) detail::profile_span_end(prof_);
+  if (traced_) {
+    Event ev;
+    ev.name = std::move(name_);
+    ev.args = std::move(args_);
+    ev.ts_us = start_us_;
+    ev.dur_us = now_us() - start_us_;
+    ev.ph = 'X';
+    push_event(std::move(ev));
+  }
   active_ = false;
+  traced_ = false;
 }
 
 void instant(const char* name, std::string args_body) {

@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace tsvcod::opt {
 
 /// splitmix64 over (base, index): statistically independent seed streams per
@@ -185,10 +187,18 @@ void parallel_for(std::size_t n, int threads, Fn&& fn) {
   auto& pool = ThreadPool::shared();
   pool.ensure_workers(static_cast<int>(k) - 1);
   state->pending = static_cast<int>(k) - 1;
+  // Propagate the submitting span as the logical profiler parent: spans
+  // opened inside `fn` on a worker then aggregate under the span that was
+  // open here, so the profile tree depends only on call structure, never on
+  // which thread ran an item (or on `threads`). `try_run_one` below also
+  // drains *other* sections' jobs on this thread — each job carrying its own
+  // scope override is what keeps that re-entrancy correct.
+  const obs::ProfileToken profile_parent = obs::profile_current();
   for (std::size_t w = 0; w + 1 < k; ++w) {
     // `run_share` holds a reference to `fn`; that is safe because this frame
     // blocks until every helper job has finished.
-    pool.submit([state, run_share] {
+    pool.submit([state, run_share, profile_parent] {
+      obs::ProfileTaskScope profile_scope(profile_parent);
       run_share();
       {
         std::lock_guard<std::mutex> lk(state->mu);

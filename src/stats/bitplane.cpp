@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "opt/parallel.hpp"
 #include "simd/dispatch.hpp"
 
@@ -483,7 +484,7 @@ SwitchingCounts compute_counts_primed(bool primed, std::uint64_t prime,
     obs::metric_add("stats.compute.chunks_total", chunks);
     obs::metric_add("stats.compute.tail_words_total", tail_words);
   }
-  if (span.active()) {
+  if (span.traced()) {
     const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     if (secs > 0.0) {
       obs::counter("stats.compute.words_per_sec", static_cast<double>(words.size()) / secs);
@@ -493,6 +494,8 @@ SwitchingCounts compute_counts_primed(bool primed, std::uint64_t prime,
        << ",\"blocks\":" << blocks;
     span.set_args(os.str());
   }
+  obs::profile_work("words", words.size());
+  obs::profile_work("blocks", blocks);
   return total;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 
 namespace tsvcod::stats {
 
@@ -28,7 +29,7 @@ SwitchingCounts compute_counts(streams::WordSource& source, std::size_t width, i
     obs::metric_add("trace.ingest.words_total", words_total);
     obs::metric_add("trace.ingest.bytes_total", source.bytes());
   }
-  if (span.active()) {
+  if (span.traced()) {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     if (secs > 0.0) {
@@ -40,6 +41,8 @@ SwitchingCounts compute_counts(streams::WordSource& source, std::size_t width, i
        << ",\"width\":" << width;
     span.set_args(os.str());
   }
+  obs::profile_work("words", words_total);
+  obs::profile_work("bytes", source.bytes());
   return total;
 }
 

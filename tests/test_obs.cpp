@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -429,6 +430,29 @@ TEST_F(ObsTest, HistogramBucketsFollowBounds) {
   EXPECT_EQ(counts[1].number, 1.0);
   EXPECT_EQ(counts[2].number, 1.0);
   EXPECT_EQ(h->find("count")->number, 4.0);
+
+  // Summary statistics ride along: exact min/max, fixed-point-exact sum.
+  ASSERT_NE(h->find("min"), nullptr);
+  ASSERT_NE(h->find("max"), nullptr);
+  ASSERT_NE(h->find("sum"), nullptr);
+  EXPECT_EQ(h->find("min")->number, 0.5);
+  EXPECT_EQ(h->find("max")->number, 100.0);
+  EXPECT_EQ(h->find("sum")->number, 104.5);
+}
+
+TEST_F(ObsTest, HistogramWithNoFiniteObservationsReportsNullStats) {
+  obs::enable_metrics(true);
+  const double bounds[] = {1.0};
+  obs::metric_observe("empty", std::numeric_limits<double>::infinity(), bounds);
+  obs::enable_metrics(false);
+
+  JValue doc;
+  ASSERT_TRUE(JsonParser(obs::metrics_to_json()).parse(doc));
+  const JValue* h = doc.find("histograms")->find("empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("min")->kind, JValue::Null);
+  EXPECT_EQ(h->find("max")->kind, JValue::Null);
+  EXPECT_EQ(h->find("sum")->kind, JValue::Null);
 }
 
 TEST_F(ObsTest, NocSimulatorRecordsLinkActivity) {

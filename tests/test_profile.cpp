@@ -1,0 +1,469 @@
+// Tests for the profiling layer (DESIGN.md §5i): the span-tree profiler's
+// deterministic projection must be bit-identical at every thread count, the
+// perf_event_open wrapper must degrade gracefully (flagged fallback, never an
+// error), the periodic snapshot exporter must rotate files and mark its final
+// write, and the benchdiff gate must catch an injected regression while
+// passing an identical pair.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/link.hpp"
+#include "field/extractor.hpp"
+#include "obs/benchdiff.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/profile.hpp"
+#include "obs/snapshot.hpp"
+#include "opt/parallel.hpp"
+#include "streams/random_streams.hpp"
+
+namespace {
+
+using namespace tsvcod;
+namespace json = obs::json;
+namespace bd = obs::benchdiff;
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+  static void clear() {
+    obs::stop_snapshots();
+    obs::enable_tracing(false);
+    obs::enable_metrics(false);
+    obs::enable_profiling(false);
+    obs::reset_trace();
+    obs::reset_metrics();
+    obs::reset_profile();
+  }
+};
+
+/// The instrumented hot paths at a given thread count (same workload as
+/// test_obs, so the trace and profile views of one run stay comparable).
+void run_instrumented_workload(int threads) {
+  const auto geom = phys::TsvArrayGeometry::itrs2018_relaxed(3, 3);
+  const core::Link link(geom);
+  streams::GaussianAr1Stream src(link.width(), 500.0, 0.4, 5);
+  const auto st = link.measure(src, 20000);
+  core::OptimizeOptions opts;
+  opts.schedule.iterations = 1500;
+  opts.chains = 4;
+  opts.threads = threads;
+  core::optimize_assignment(st, link.model(), opts);
+
+  const auto geom2 = phys::TsvArrayGeometry::itrs2018_min(2, 2);
+  const std::vector<double> pr(geom2.count(), 0.5);
+  field::ExtractionOptions eo;
+  eo.cell = 0.2e-6;
+  eo.threads = threads;
+  field::extract_capacitance(geom2, pr, eo);
+}
+
+const json::Value* child_named(const json::Value& children, const std::string& name) {
+  for (const auto& node : children.array) {
+    const json::Value* n = node.find("name");
+    if (n != nullptr && n->is_string() && n->string == name) return &node;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree shape
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, DisabledProfilerRecordsNothing) {
+  {
+    obs::Span span("should.not.appear");
+    EXPECT_FALSE(span.active());
+    obs::profile_work("ignored", 7);
+  }
+  const json::Value doc = json::parse(obs::profile_to_json(obs::ProfileFields::deterministic));
+  const json::Value* roots = doc.find("roots");
+  ASSERT_NE(roots, nullptr);
+  EXPECT_TRUE(roots->array.empty());
+}
+
+TEST_F(ProfileTest, TreeShapeFollowsSpanNesting) {
+  obs::enable_profiling(true);
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::Span outer("outer");
+    obs::profile_work("units", 10);
+    for (int j = 0; j < 2; ++j) {
+      obs::Span inner("inner");
+      obs::profile_work("units", 1);
+    }
+    obs::Span side("side");
+  }
+  obs::enable_profiling(false);
+
+  const json::Value doc = json::parse(obs::profile_to_json(obs::ProfileFields::deterministic));
+  EXPECT_EQ(doc.find("schema")->string, "tsvcod.profile.v1");
+  EXPECT_EQ(doc.find("fields")->string, "deterministic");
+  const json::Value* roots = doc.find("roots");
+  ASSERT_NE(roots, nullptr);
+  ASSERT_EQ(roots->array.size(), 1u);
+
+  const json::Value& outer = roots->array[0];
+  EXPECT_EQ(outer.find("name")->string, "outer");
+  EXPECT_EQ(outer.find("count")->number, 3.0);
+  EXPECT_EQ(outer.find("work")->find("units")->number, 30.0);
+  // Deterministic projection must not leak timing fields.
+  EXPECT_EQ(outer.find("total_ns"), nullptr);
+  EXPECT_EQ(outer.find("self_ns"), nullptr);
+
+  const json::Value* children = outer.find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->array.size(), 2u);
+  // Children are name-sorted: "inner" before "side".
+  EXPECT_EQ(children->array[0].find("name")->string, "inner");
+  EXPECT_EQ(children->array[1].find("name")->string, "side");
+  EXPECT_EQ(children->array[0].find("count")->number, 6.0);
+  EXPECT_EQ(children->array[0].find("work")->find("units")->number, 6.0);
+  EXPECT_EQ(children->array[1].find("count")->number, 3.0);
+}
+
+TEST_F(ProfileTest, ParallelForAggregatesUnderSubmittingSpan) {
+  obs::enable_profiling(true);
+  {
+    obs::Span parent("logical.parent");
+    opt::parallel_for(16, 4, [&](std::size_t) {
+      obs::Span item("logical.item");
+      obs::profile_work("items", 1);
+    });
+  }
+  obs::enable_profiling(false);
+
+  const json::Value doc = json::parse(obs::profile_to_json(obs::ProfileFields::deterministic));
+  const json::Value* roots = doc.find("roots");
+  ASSERT_EQ(roots->array.size(), 1u);
+  const json::Value& parent = roots->array[0];
+  EXPECT_EQ(parent.find("name")->string, "logical.parent");
+  const json::Value* item = child_named(*parent.find("children"), "logical.item");
+  ASSERT_NE(item, nullptr) << "worker spans must nest under the submitting span";
+  EXPECT_EQ(item->find("count")->number, 16.0);
+  EXPECT_EQ(item->find("work")->find("items")->number, 16.0);
+}
+
+TEST_F(ProfileTest, InstrumentedSubsystemsAppearInTree) {
+  obs::enable_profiling(true);
+  run_instrumented_workload(2);
+  obs::enable_profiling(false);
+
+  const json::Value doc = json::parse(obs::profile_to_json(obs::ProfileFields::deterministic));
+  const json::Value* roots = doc.find("roots");
+  const json::Value* optimize = child_named(*roots, "opt.optimize");
+  const json::Value* extract = child_named(*roots, "field.extract");
+  ASSERT_NE(optimize, nullptr);
+  ASSERT_NE(extract, nullptr);
+
+  const json::Value* chain = child_named(*optimize->find("children"), "opt.chain");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->find("count")->number, 4.0);
+  EXPECT_GT(chain->find("work")->find("evaluations")->number, 0.0);
+  EXPECT_GT(optimize->find("work")->find("chains")->number, 0.0);
+
+  const json::Value* solve = child_named(*extract->find("children"), "field.solve");
+  ASSERT_NE(solve, nullptr);
+  EXPECT_GE(solve->find("count")->number, 4.0);  // one per conductor of the 2x2
+  EXPECT_GT(solve->find("work")->find("iterations")->number, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, DeterministicProjectionBitIdenticalAcrossThreadCounts) {
+  const auto run_at = [](int threads) {
+    obs::reset_profile();
+    obs::enable_profiling(true);
+    run_instrumented_workload(threads);
+    const std::string json_text = obs::profile_to_json(obs::ProfileFields::deterministic);
+    obs::enable_profiling(false);
+    return json_text;
+  };
+  const std::string serial = run_at(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(run_at(2), serial) << "2 threads";
+  EXPECT_EQ(run_at(8), serial) << "8 threads";
+}
+
+// ---------------------------------------------------------------------------
+// Full projection, perf fallback, collapsed stacks
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, FullProjectionCarriesTimingAndPerfAvailability) {
+  obs::enable_profiling(true);
+  {
+    obs::Span span("timed");
+    volatile double sink = 0.0;
+    for (int k = 0; k < 50000; ++k) sink = sink + k;
+  }
+  obs::enable_profiling(false);
+
+  const json::Value doc = json::parse(obs::profile_to_json(obs::ProfileFields::full));
+  EXPECT_EQ(doc.find("fields")->string, "full");
+
+  // The availability block is always present: available + reason, and an
+  // unavailable PMU is a flagged fallback, never an error.
+  const json::Value* perf = doc.find("perf_counters");
+  ASSERT_NE(perf, nullptr);
+  const json::Value* available = perf->find("available");
+  ASSERT_NE(available, nullptr);
+  ASSERT_TRUE(available->is_boolean());
+  ASSERT_NE(perf->find("reason"), nullptr);
+  EXPECT_EQ(available->boolean, obs::perf_availability().available);
+  if (!available->boolean) {
+    EXPECT_FALSE(perf->find("reason")->string.empty())
+        << "unavailable perf must say why";
+  }
+
+  const json::Value& node = doc.find("roots")->array[0];
+  EXPECT_EQ(node.find("name")->string, "timed");
+  ASSERT_NE(node.find("total_ns"), nullptr);
+  ASSERT_NE(node.find("self_ns"), nullptr);
+  EXPECT_GT(node.find("total_ns")->number, 0.0);
+  EXPECT_GE(node.find("total_ns")->number, node.find("self_ns")->number);
+  // The four counter fields exist either way; without a PMU they stay 0.
+  for (int i = 0; i < obs::kPerfCounterCount; ++i) {
+    const json::Value* c = node.find(obs::perf_counter_name(i));
+    ASSERT_NE(c, nullptr) << obs::perf_counter_name(i);
+    EXPECT_GE(c->number, 0.0);
+  }
+}
+
+TEST_F(ProfileTest, PerfReadDegradesGracefullyWhenUnavailable) {
+  if (obs::perf_availability().available) {
+    GTEST_SKIP() << "PMU available on this host; fallback path not reachable";
+  }
+  std::uint64_t out[obs::kPerfCounterCount] = {1, 2, 3, 4};
+  EXPECT_FALSE(obs::detail::perf_read_counters(out));
+  // Profiling still works end to end without hardware counters.
+  obs::enable_profiling(true);
+  { obs::Span span("no.pmu"); }
+  obs::enable_profiling(false);
+  const json::Value doc = json::parse(obs::profile_to_json(obs::ProfileFields::full));
+  EXPECT_EQ(doc.find("roots")->array.size(), 1u);
+}
+
+TEST_F(ProfileTest, CollapsedStacksListEveryPath) {
+  obs::enable_profiling(true);
+  {
+    obs::Span a("alpha");
+    { obs::Span b("beta"); }
+    { obs::Span b("beta"); }
+  }
+  { obs::Span c("gamma"); }
+  obs::enable_profiling(false);
+
+  const std::string folded = obs::profile_to_collapsed();
+  std::istringstream lines(folded);
+  std::vector<std::string> paths;
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    paths.push_back(line.substr(0, space));
+    EXPECT_GE(std::stoll(line.substr(space + 1)), 0) << line;
+  }
+  // Depth-first, name-sorted: alpha, alpha;beta, gamma.
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "alpha");
+  EXPECT_EQ(paths[1], "alpha;beta");
+  EXPECT_EQ(paths[2], "gamma");
+}
+
+TEST_F(ProfileTest, ResetDropsTree) {
+  obs::enable_profiling(true);
+  { obs::Span span("ephemeral"); }
+  obs::reset_profile();
+  obs::enable_profiling(false);
+  const json::Value doc = json::parse(obs::profile_to_json(obs::ProfileFields::deterministic));
+  EXPECT_TRUE(doc.find("roots")->array.empty());
+  EXPECT_TRUE(obs::profile_to_collapsed().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot exporter
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileTest, SnapshotsRotateAndMarkFinal) {
+  const std::string path = "/tmp/tsvcod_test_snapshot.json";
+  for (const char* suffix : {"", ".1", ".2"}) std::remove((path + suffix).c_str());
+
+  obs::SnapshotOptions opts;
+  opts.interval = std::chrono::milliseconds(10);
+  opts.keep = 2;
+  obs::start_snapshots(path, opts);
+  EXPECT_TRUE(obs::snapshots_running());
+  EXPECT_EQ(obs::snapshot_path(), path);
+  EXPECT_TRUE(obs::metrics_enabled()) << "snapshots imply the metrics layer";
+
+  obs::metric_add("snapshot.test.counter", 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  obs::stop_snapshots();
+  EXPECT_FALSE(obs::snapshots_running());
+  EXPECT_EQ(obs::snapshot_path(), "");
+
+  const auto slurp = [](const std::string& p) {
+    std::ifstream is(p);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+  const json::Value live = json::parse(slurp(path));
+  ASSERT_NE(live.find("seq"), nullptr);
+  EXPECT_TRUE(live.find("final")->boolean) << "stop_snapshots writes the final snapshot";
+  const json::Value* metrics = live.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("counters")->find("snapshot.test.counter")->number, 3.0);
+
+  // >= 10 periodic writes happened before the final one, so the rotation
+  // chain exists and sequence numbers decrease down the chain.
+  const json::Value prev = json::parse(slurp(path + ".1"));
+  EXPECT_FALSE(prev.find("final")->boolean);
+  EXPECT_LT(prev.find("seq")->number, live.find("seq")->number);
+  EXPECT_FALSE(slurp(path + ".2").empty());
+
+  for (const char* suffix : {"", ".1", ".2"}) std::remove((path + suffix).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Benchdiff gate
+// ---------------------------------------------------------------------------
+
+constexpr const char* kBase = R"({
+  "bench": "stats_throughput", "words": 262144, "reps": 5, "threads": 4,
+  "results": [
+    {"width": 32, "scalar_words_per_sec": 1.0e7, "solve_time_ms": 12.0,
+     "bit_identical": true},
+    {"width": 64, "scalar_words_per_sec": 5.0e6, "solve_time_ms": 30.0,
+     "bit_identical": true}
+  ]
+})";
+
+std::string with_injected_regression() {
+  // 20% throughput drop on the w32 row only.
+  std::string s = kBase;
+  const std::string needle = "\"scalar_words_per_sec\": 1.0e7";
+  s.replace(s.find(needle), needle.size(), "\"scalar_words_per_sec\": 0.8e7");
+  return s;
+}
+
+TEST_F(ProfileTest, BenchdiffPassesIdenticalDocuments) {
+  const bd::DiffReport report = bd::diff_bench_json(kBase, kBase, {});
+  EXPECT_FALSE(report.regression);
+  ASSERT_FALSE(report.metrics.empty());
+  for (const auto& m : report.metrics) {
+    EXPECT_FALSE(m.regression) << m.key;
+    EXPECT_EQ(m.delta_pct, 0.0) << m.key;
+  }
+  EXPECT_TRUE(report.only_base.empty());
+  EXPECT_TRUE(report.only_cand.empty());
+  EXPECT_NE(bd::report_to_table(report).find("RESULT: ok"), std::string::npos);
+}
+
+TEST_F(ProfileTest, BenchdiffCatchesInjectedTwentyPercentRegression) {
+  const bd::DiffReport report = bd::diff_bench_json(kBase, with_injected_regression(), {});
+  EXPECT_TRUE(report.regression);
+  int flagged = 0;
+  for (const auto& m : report.metrics) {
+    if (m.regression) {
+      ++flagged;
+      EXPECT_EQ(m.key, "w32.scalar_words_per_sec");
+      EXPECT_NEAR(m.delta_pct, -20.0, 1e-9);
+      EXPECT_EQ(m.direction, bd::Direction::higher_better);
+    }
+  }
+  EXPECT_EQ(flagged, 1);
+  EXPECT_NE(bd::report_to_table(report).find("RESULT: REGRESSION"), std::string::npos);
+  // The machine report round-trips through the strict parser.
+  const json::Value doc = json::parse(bd::report_to_json(report));
+  EXPECT_EQ(doc.find("schema")->string, "tsvcod.benchdiff.v1");
+  EXPECT_TRUE(doc.find("regression")->boolean);
+}
+
+TEST_F(ProfileTest, BenchdiffToleranceOverridesSuppressTheGate) {
+  bd::DiffOptions opts;
+  opts.per_metric = {{"scalar_words_per_sec", 30.0}};
+  const bd::DiffReport report = bd::diff_bench_json(kBase, with_injected_regression(), opts);
+  EXPECT_FALSE(report.regression);
+}
+
+TEST_F(ProfileTest, BenchdiffDirectionHeuristics) {
+  using bd::Direction;
+  EXPECT_EQ(bd::direction_of("w32.scalar_words_per_sec"), Direction::higher_better);
+  EXPECT_EQ(bd::direction_of("w64.speedup_simd"), Direction::higher_better);
+  EXPECT_EQ(bd::direction_of("row.throughput"), Direction::higher_better);
+  EXPECT_EQ(bd::direction_of("w32.solve_time_ms"), Direction::lower_better);
+  EXPECT_EQ(bd::direction_of("bench.llc_misses"), Direction::lower_better);
+  EXPECT_EQ(bd::direction_of("w16.iterations"), Direction::lower_better);
+  EXPECT_EQ(bd::direction_of("w16.acceptance_rate"), Direction::two_sided);
+
+  // lower_better regressions fire on increases, not decreases.
+  const std::string slow = [] {
+    std::string s = kBase;
+    const std::string needle = "\"solve_time_ms\": 12.0";
+    std::string r = s;
+    r.replace(r.find(needle), needle.size(), "\"solve_time_ms\": 18.0");
+    return r;
+  }();
+  const bd::DiffReport report = bd::diff_bench_json(kBase, slow, {});
+  EXPECT_TRUE(report.regression);
+  for (const auto& m : report.metrics) {
+    if (m.regression) {
+      EXPECT_EQ(m.key, "w32.solve_time_ms");
+    }
+  }
+}
+
+TEST_F(ProfileTest, BenchdiffBooleanRegressionOnlyOnTrueToFalse) {
+  const std::string broken = [] {
+    std::string s = kBase;
+    const std::string needle = "\"width\": 64, \"scalar_words_per_sec\": 5.0e6";
+    // flip the w64 bit_identical to false
+    const std::string tneedle = "\"solve_time_ms\": 30.0,\n     \"bit_identical\": true";
+    s.replace(s.find(tneedle), tneedle.size(),
+              "\"solve_time_ms\": 30.0,\n     \"bit_identical\": false");
+    (void)needle;
+    return s;
+  }();
+  const bd::DiffReport report = bd::diff_bench_json(kBase, broken, {});
+  EXPECT_TRUE(report.regression);
+  for (const auto& m : report.metrics) {
+    if (m.regression) {
+      EXPECT_EQ(m.key, "w64.bit_identical");
+      EXPECT_EQ(m.direction, bd::Direction::boolean);
+    }
+  }
+  // false -> true is an improvement, never a regression.
+  const bd::DiffReport improved = bd::diff_bench_json(broken, kBase, {});
+  EXPECT_FALSE(improved.regression);
+}
+
+TEST_F(ProfileTest, BenchdiffReportsOnlyKeysWithoutGating) {
+  const std::string extra = [] {
+    std::string s = kBase;
+    const std::string needle = "\"bit_identical\": true\n    }";
+    const std::size_t pos = s.rfind("\"bit_identical\": true");
+    s.insert(pos + std::string("\"bit_identical\": true").size(), ", \"new_metric\": 1.5");
+    (void)needle;
+    return s;
+  }();
+  const bd::DiffReport added = bd::diff_bench_json(kBase, extra, {});
+  EXPECT_FALSE(added.regression);
+  ASSERT_EQ(added.only_cand.size(), 1u);
+  EXPECT_EQ(added.only_cand[0], "w64.new_metric");
+  const bd::DiffReport removed = bd::diff_bench_json(extra, kBase, {});
+  EXPECT_FALSE(removed.regression);
+  ASSERT_EQ(removed.only_base.size(), 1u);
+}
+
+}  // namespace

@@ -15,12 +15,13 @@
 //
 // Examples:
 //   tsvcod_cli extract --rows 4 --cols 4 --radius-um 2 --pitch-um 8 --out m.txt
-//   tsvcod_cli optimize --model m.txt --trace bus.txt --no-invert 14,15 \
-//                       --out assignment.txt
+//   tsvcod_cli optimize --model m.txt --trace bus.txt --no-invert 14,15
+//       --out assignment.txt
 //   tsvcod_cli evaluate --model m.txt --trace bus.txt --assignment assignment.txt
 //   tsvcod_cli convert --trace bus.txt --width 16 --out bus.tsvb
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -36,6 +37,7 @@
 #include "field/export.hpp"
 #include "field/extractor.hpp"
 #include "obs/obs.hpp"
+#include "obs/snapshot.hpp"
 #include "opt/parallel.hpp"
 #include "simd/dispatch.hpp"
 #include "stats/ingest.hpp"
@@ -117,6 +119,50 @@ class Args {
   }
 
   std::map<std::string, std::string> values_;
+};
+
+/// RAII guarantee that configured observability sinks are written on *every*
+/// exit path. The success path calls `finish()` (clean_exit=true + progress
+/// messages); if an exception or early error unwinds past it, the destructor
+/// still flushes whatever was recorded, marked `"clean_exit":false`, so a
+/// failed run leaves a usable partial trace/metrics/profile behind.
+class ObsFlusher {
+ public:
+  ObsFlusher() = default;
+  ObsFlusher(const ObsFlusher&) = delete;
+  ObsFlusher& operator=(const ObsFlusher&) = delete;
+
+  ~ObsFlusher() {
+    if (!armed_) return;
+    try {
+      obs::stop_snapshots();
+      obs::flush_outputs(/*clean_exit=*/false);
+    } catch (...) {
+      // Last-resort telemetry: an unwritable sink must not mask the error
+      // that is already unwinding.
+    }
+  }
+
+  void finish() {
+    armed_ = false;
+    obs::stop_snapshots();
+    if (obs::flush_outputs(/*clean_exit=*/true)) {
+      if (!obs::trace_path().empty()) {
+        std::printf("trace written to %s (load in Perfetto / chrome://tracing)\n",
+                    obs::trace_path().c_str());
+      }
+      if (!obs::metrics_path().empty()) {
+        std::printf("metrics written to %s\n", obs::metrics_path().c_str());
+      }
+      if (!obs::profile_path().empty()) {
+        std::printf("profile written to %s (+ %s.folded for flamegraph tools)\n",
+                    obs::profile_path().c_str(), obs::profile_path().c_str());
+      }
+    }
+  }
+
+ private:
+  bool armed_ = true;
 };
 
 /// Resolve --threads. Explicit N > 0 is used as-is; an explicit 0 means all
@@ -406,10 +452,18 @@ void usage() {
       "               [--simd scalar|popcnt|avx2|avx512]  clamp the SIMD dispatch\n"
       "                level (wins over the TSVCOD_SIMD env; never raises above\n"
       "                what the CPU supports; results are level-invariant)\n"
-      "               [--verbose]  report the resolved SIMD level and thread count\n"
+      "               [--verbose]  report the resolved SIMD level, thread count and\n"
+      "                active observability sinks\n"
       "               [--trace-out FILE]    write a Chrome/Perfetto trace of the run\n"
       "               [--metrics-out FILE]  write the metrics registry as JSON\n"
-      "                (TSVCOD_TRACE / TSVCOD_METRICS env set the same outputs)\n"
+      "               [--profile-out FILE]  write the span-tree profile as JSON plus\n"
+      "                FILE.folded collapsed stacks for flamegraph tools\n"
+      "               [--snapshot-out FILE [--snapshot-interval SECONDS]]  export the\n"
+      "                metrics registry periodically (rotating FILE.1..FILE.3)\n"
+      "                (TSVCOD_TRACE / TSVCOD_METRICS / TSVCOD_PROFILE /\n"
+      "                 TSVCOD_SNAPSHOT(+_INTERVAL) env set the same outputs;\n"
+      "                 outputs are flushed even when a run fails, marked\n"
+      "                 \"clean_exit\":false)\n"
       "               [--codec NAME]  push the trace through a low-power codec first\n"
       "                (gray|correlator|bus-invert|coupling-invert|t0|fibonacci;\n"
       "                 sub-flags --codec-period N --codec-stride N --codec-lambda X;\n"
@@ -447,6 +501,19 @@ int main(int argc, char** argv) {
     obs::init_from_env();
     if (args.has("trace-out")) obs::set_trace_path(args.str("trace-out"));
     if (args.has("metrics-out")) obs::set_metrics_path(args.str("metrics-out"));
+    if (args.has("profile-out")) obs::set_profile_path(args.str("profile-out"));
+    if (args.has("snapshot-out")) {
+      obs::SnapshotOptions snap;
+      const double seconds = args.number_or("snapshot-interval", 1.0);
+      if (seconds <= 0.0) throw std::runtime_error("--snapshot-interval must be > 0 seconds");
+      snap.interval = std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0));
+      obs::start_snapshots(args.str("snapshot-out"), snap);
+    } else if (args.has("snapshot-interval")) {
+      throw std::runtime_error("--snapshot-interval needs --snapshot-out (or TSVCOD_SNAPSHOT)");
+    }
+    // From here on, every exit path — including thrown errors — flushes the
+    // configured sinks; the success path calls finish() for a clean flush.
+    ObsFlusher flusher;
 
     if (args.has("verbose")) {
       const simd::Level active = simd::active_level();
@@ -457,6 +524,12 @@ int main(int argc, char** argv) {
                   : args.has("simd") ? ", clamped by --simd"
                                      : ", clamped by TSVCOD_SIMD");
       std::printf("threads      : %d\n", std::max(1, opt::resolve_threads(threads_from(args))));
+      const auto sink = [](const std::string& path) {
+        return path.empty() ? std::string("off") : path;
+      };
+      std::printf("obs sinks    : trace=%s metrics=%s profile=%s snapshot=%s\n",
+                  sink(obs::trace_path()).c_str(), sink(obs::metrics_path()).c_str(),
+                  sink(obs::profile_path()).c_str(), sink(obs::snapshot_path()).c_str());
     }
 
     int rc = 2;
@@ -472,15 +545,7 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    if (obs::flush_outputs()) {
-      if (!obs::trace_path().empty()) {
-        std::printf("trace written to %s (load in Perfetto / chrome://tracing)\n",
-                    obs::trace_path().c_str());
-      }
-      if (!obs::metrics_path().empty()) {
-        std::printf("metrics written to %s\n", obs::metrics_path().c_str());
-      }
-    }
+    flusher.finish();
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
