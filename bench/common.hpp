@@ -79,6 +79,10 @@ class BenchJson {
   BenchJson& field(const std::string& key, const std::string& value) {
     return raw_field(key, "\"" + value + "\"");
   }
+  /// String literals must render as strings, not fall into the bool overload.
+  BenchJson& field(const std::string& key, const char* value) {
+    return raw_field(key, "\"" + std::string(value) + "\"");
+  }
 
   void write(const std::string& path) const {
     std::ofstream os(path);

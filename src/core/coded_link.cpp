@@ -1,6 +1,7 @@
 #include "core/coded_link.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace tsvcod::core {
 
@@ -19,15 +20,42 @@ CodedLink::CodedLink(SignedPermutation assignment, std::unique_ptr<coding::Codec
   rx_ = tx_->clone();
 }
 
+SignedPermutation CodedLink::assignment_snapshot() const {
+  std::lock_guard<std::mutex> lk(*mu_);
+  return assignment_;
+}
+
 std::uint64_t CodedLink::transmit(std::uint64_t word) {
+  std::lock_guard<std::mutex> lk(*mu_);
   return assignment_.apply_word(tx_->encode(word));
 }
 
 std::uint64_t CodedLink::receive(std::uint64_t lines) {
+  std::lock_guard<std::mutex> lk(*mu_);
   return rx_->decode(assignment_.unapply_word(lines));
 }
 
+std::uint64_t CodedLink::roundtrip(std::uint64_t word) {
+  // One critical section for both halves: a concurrent reset / hot-swap can
+  // only land between whole words, never between a word's encode and decode.
+  std::lock_guard<std::mutex> lk(*mu_);
+  return rx_->decode(assignment_.unapply_word(assignment_.apply_word(tx_->encode(word))));
+}
+
 void CodedLink::reset() {
+  std::lock_guard<std::mutex> lk(*mu_);
+  tx_->reset();
+  rx_->reset();
+}
+
+void CodedLink::reset(SignedPermutation next) {
+  if (next.size() != assignment_.size()) {
+    throw std::invalid_argument("CodedLink::reset: new assignment size " +
+                                std::to_string(next.size()) + " does not match line width " +
+                                std::to_string(assignment_.size()));
+  }
+  std::lock_guard<std::mutex> lk(*mu_);
+  assignment_ = std::move(next);
   tx_->reset();
   rx_->reset();
 }

@@ -10,9 +10,19 @@
 // receiver by cloning the transmitter (parameters can never disagree), and
 // propagates reset() to both sides atomically: there is no API to reset one
 // endpoint without the other.
+//
+// Thread safety: transmit / receive / roundtrip / reset are serialized by an
+// internal mutex, so a reset (including the assignment hot-swap overload)
+// can land between whole words of concurrent traffic without ever splitting
+// the tx/rx pair — the swap mechanism the streaming service (src/serve)
+// relies on. roundtrip() holds the lock across both halves, so interleaved
+// roundtrips from several threads keep the endpoint histories in lockstep.
+// The uncontended lock is a few nanoseconds against a codec's encode cost;
+// single-threaded callers are unaffected.
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "coding/codec.hpp"
 #include "core/assignment.hpp"
@@ -28,21 +38,36 @@ class CodedLink {
 
   std::size_t payload_width() const { return tx_->width_in(); }
   std::size_t line_width() const { return assignment_.size(); }
+
+  /// The live assignment. Only stable while no concurrent reset(next) can
+  /// run; concurrent readers should take assignment_snapshot() instead.
   const SignedPermutation& assignment() const { return assignment_; }
+  /// Copy of the live assignment, taken under the link lock.
+  SignedPermutation assignment_snapshot() const;
 
   /// Transmitter side: encode a payload word and place it on the TSV lines.
   std::uint64_t transmit(std::uint64_t word);
   /// Receiver side: recover the payload word from the TSV line word.
   std::uint64_t receive(std::uint64_t lines);
   /// Full chain; equals the input for every codec when both endpoints stay
-  /// in sync (the harness' first oracle).
-  std::uint64_t roundtrip(std::uint64_t word) { return receive(transmit(word)); }
+  /// in sync (the harness' first oracle). Atomic: the encode and decode
+  /// halves happen under one lock acquisition, so a concurrent reset can
+  /// never land between them.
+  std::uint64_t roundtrip(std::uint64_t word);
 
   /// Atomic pair reset: both endpoints return to the power-on state in one
   /// call. Resetting a single endpoint of a stateful pair desyncs the link;
   /// tests that need to *demonstrate* that failure mode use the endpoint
   /// accessors below.
   void reset();
+
+  /// Atomic hot-swap: install `next` as the live assignment AND reset both
+  /// endpoints, all inside one critical section. Traffic running
+  /// concurrently through roundtrip() observes a clean cut — every word is
+  /// encoded, assigned, unassigned and decoded under exactly one assignment
+  /// and one consistent pair state, so the swap causes zero decode desyncs.
+  /// `next.size()` must equal the current line width.
+  void reset(SignedPermutation next);
 
   /// Endpoint access for desync experiments and statistics probes. Resetting
   /// through these bypasses the atomicity guarantee on purpose.
@@ -53,6 +78,8 @@ class CodedLink {
   SignedPermutation assignment_;
   std::unique_ptr<coding::Codec> tx_;
   std::unique_ptr<coding::Codec> rx_;
+  // unique_ptr keeps the link movable (std::mutex is not); never null.
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace tsvcod::core

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "obs/obs.hpp"
@@ -14,7 +16,13 @@ namespace tsvcod::obs {
 namespace {
 
 struct SnapshotState {
-  std::mutex mu;
+  // Serializes whole start/stop transitions (thread join happens under this
+  // lock but never under `mu`, so the worker can still make progress).
+  // Concurrent stop_snapshots() calls — e.g. a signal-path flusher racing the
+  // normal exit path — must not both join the worker or drop the final
+  // snapshot.
+  std::mutex lifecycle_mu;
+  std::mutex mu;  // guards everything below + file writes
   std::condition_variable cv;
   std::thread worker;
   std::string path;
@@ -64,17 +72,44 @@ void snapshot_loop() {
   }
 }
 
+/// Stop the worker and write the final snapshot. Caller holds lifecycle_mu.
+/// The join happens after the worker can no longer start a write, and the
+/// `"final":true` snapshot is written strictly after the worker exits, so it
+/// is always the last document on disk — a stop racing an in-progress
+/// periodic write can delay it, never drop or clobber it.
+void stop_snapshots_lifecycle_locked(SnapshotState& st) {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    if (!st.running) return;
+    st.stop_requested = true;
+    worker = std::move(st.worker);
+  }
+  st.cv.notify_all();
+  worker.join();
+  std::lock_guard<std::mutex> lk(st.mu);
+  write_snapshot_locked(st, /*final_snapshot=*/true);
+  st.running = false;
+  st.stop_requested = false;
+}
+
 }  // namespace
 
 void start_snapshots(std::string path, SnapshotOptions options) {
-  stop_snapshots();
-  enable_metrics(true);
+  if (options.interval.count() <= 0) {
+    throw std::invalid_argument(
+        "snapshots: interval must be > 0, got " + std::to_string(options.interval.count()) +
+        " ms (set --snapshot-interval / TSVCOD_SNAPSHOT_INTERVAL to a positive number of "
+        "seconds)");
+  }
+  if (options.keep < 0) options.keep = 0;
   auto& st = snapshot_state();
+  std::lock_guard<std::mutex> lifecycle(st.lifecycle_mu);
+  stop_snapshots_lifecycle_locked(st);
+  enable_metrics(true);
   std::lock_guard<std::mutex> lk(st.mu);
   st.path = std::move(path);
   st.options = options;
-  if (st.options.interval.count() <= 0) st.options.interval = std::chrono::milliseconds(1);
-  if (st.options.keep < 0) st.options.keep = 0;
   st.stop_requested = false;
   st.running = true;
   st.worker = std::thread(snapshot_loop);
@@ -82,16 +117,8 @@ void start_snapshots(std::string path, SnapshotOptions options) {
 
 void stop_snapshots() {
   auto& st = snapshot_state();
-  {
-    std::lock_guard<std::mutex> lk(st.mu);
-    if (!st.running) return;
-    st.stop_requested = true;
-  }
-  st.cv.notify_all();
-  st.worker.join();
-  std::lock_guard<std::mutex> lk(st.mu);
-  write_snapshot_locked(st, /*final_snapshot=*/true);
-  st.running = false;
+  std::lock_guard<std::mutex> lifecycle(st.lifecycle_mu);
+  stop_snapshots_lifecycle_locked(st);
 }
 
 bool snapshots_running() {

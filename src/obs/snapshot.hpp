@@ -19,11 +19,17 @@ struct SnapshotOptions {
 };
 
 /// Start (or restart with new settings) the background exporter; enables the
-/// metrics layer implicitly since a snapshot of nothing is useless.
+/// metrics layer implicitly since a snapshot of nothing is useless. Throws
+/// std::invalid_argument on a non-positive interval, naming the
+/// --snapshot-interval flag / TSVCOD_SNAPSHOT_INTERVAL env var (a silent
+/// clamp used to turn a typo into a 1 ms busy loop).
 void start_snapshots(std::string path, SnapshotOptions options = {});
 
 /// Stop the exporter: joins the thread, then writes one last snapshot with
-/// `"final":true`. Safe to call when not running.
+/// `"final":true` — always written after the worker has exited, so it is the
+/// last document on disk even when stop races an in-progress periodic write.
+/// Safe to call when not running, and safe to call concurrently from several
+/// threads (exactly one final snapshot is written).
 void stop_snapshots();
 
 bool snapshots_running();

@@ -141,11 +141,17 @@ void init_from_env() {
   if (s && *s) {
     SnapshotOptions opts;
     if (const char* iv = std::getenv("TSVCOD_SNAPSHOT_INTERVAL"); iv && *iv) {
+      // A malformed or non-positive interval used to be silently ignored
+      // (falling back to the default), which hides typos; fail fast naming
+      // the variable and its value instead.
       char* end = nullptr;
       const double seconds = std::strtod(iv, &end);
-      if (end && *end == '\0' && seconds > 0.0) {
-        opts.interval = std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0));
+      if (!end || *end != '\0' || !(seconds > 0.0)) {
+        throw std::runtime_error(std::string("TSVCOD_SNAPSHOT_INTERVAL='") + iv +
+                                 "' is not a positive number of seconds");
       }
+      opts.interval = std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0));
+      if (opts.interval.count() <= 0) opts.interval = std::chrono::milliseconds(1);
     }
     enable_metrics(true);
     start_snapshots(s, opts);

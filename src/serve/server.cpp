@@ -1,0 +1,261 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/power.hpp"
+#include "obs/obs.hpp"
+#include "opt/parallel.hpp"
+
+namespace tsvcod::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(b - a).count();
+}
+}  // namespace
+
+std::string SwapEvent::to_json() const {
+  std::string out = "{\"event\":\"swap\",\"session\":" + std::to_string(session);
+  out += ",\"installed\":";
+  out += installed ? "true" : "false";
+  out += ",\"drift\":" + obs::json_number(drift);
+  out += ",\"power_before\":" + obs::json_number(power_before);
+  out += ",\"power_after\":" + obs::json_number(power_after);
+  out += ",\"improvement_pct\":" +
+         obs::json_number(power_before > 0.0 ? (1.0 - power_after / power_before) * 100.0 : 0.0);
+  out += ",\"swap_latency_ms\":" + obs::json_number(latency_ms);
+  out += ",\"words_at_trip\":" + std::to_string(words_at_trip);
+  out += ",\"evaluations\":" + std::to_string(evaluations);
+  out += '}';
+  return out;
+}
+
+Server::Server(ServerOptions options) : options_(options) {
+  if (options_.shards < 1) {
+    throw std::invalid_argument("serve: --shards must be >= 1, got " +
+                                std::to_string(options_.shards));
+  }
+  if (options_.queue_capacity < 1) {
+    throw std::invalid_argument("serve: --queue-capacity must be >= 1, got " +
+                                std::to_string(options_.queue_capacity));
+  }
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) shards_.push_back(std::make_unique<Shard>());
+  // Shard drain jobs + at least one re-anneal can always run concurrently.
+  opt::ThreadPool::shared().ensure_workers(options_.shards + 2);
+}
+
+Server::~Server() { drain(); }
+
+void Server::open_session(std::uint64_t id, SessionConfig config) {
+  auto session = std::make_shared<Session>(id, std::move(config));
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  if (!sessions_.emplace(id, std::move(session)).second) {
+    throw std::invalid_argument("serve: session " + std::to_string(id) + " is already open");
+  }
+  ++sessions_opened_;
+  obs::metric_add("serve.sessions_opened_total");
+}
+
+std::shared_ptr<Session> Server::find_session(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("serve: unknown session " + std::to_string(id));
+  }
+  return it->second;
+}
+
+void Server::ingest(std::uint64_t id, std::vector<std::uint64_t> words) {
+  Batch batch{find_session(id), std::move(words)};
+  Shard& shard = *shards_[static_cast<std::size_t>(id) % shards_.size()];
+
+  // Count the unit *before* it becomes visible to a drain job, so drain()
+  // can never observe the queue non-empty with a zero pending count.
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    ++pending_units_;
+  }
+
+  bool schedule = false;
+  std::size_t depth = 0;
+  {
+    std::unique_lock<std::mutex> lk(shard.mu);
+    shard.not_full.wait(lk, [&] { return shard.queue.size() < options_.queue_capacity; });
+    shard.queue.push_back(std::move(batch));
+    depth = shard.queue.size();
+    if (!shard.job_scheduled) {
+      shard.job_scheduled = true;
+      schedule = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    if (depth > max_queue_depth_) max_queue_depth_ = depth;
+  }
+  if (schedule) {
+    // The drain job is itself a pending unit: it keeps touching shard state
+    // after the last batch's own unit is retired, so drain() (and therefore
+    // ~Server) must not return while the job is still alive.
+    {
+      std::lock_guard<std::mutex> lk(idle_mu_);
+      ++pending_units_;
+    }
+    opt::ThreadPool::shared().submit([this, &shard] { drain_shard(shard); });
+  }
+}
+
+void Server::drain_shard(Shard& shard) {
+  for (;;) {
+    Batch batch;
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      if (shard.queue.empty()) {
+        shard.job_scheduled = false;
+        break;
+      }
+      batch = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    shard.not_full.notify_one();
+    process_batch(std::move(batch));
+  }
+  finish_unit();  // retire the drain job; past this point no member is touched
+}
+
+void Server::process_batch(Batch batch) {
+  try {
+    const Session::IngestResult result = batch.session->ingest(batch.words);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++batches_total_;
+      words_total_ += batch.words.size();
+    }
+    obs::metric_add("serve.batches_total");
+    obs::metric_add("serve.words_total", batch.words.size());
+    if (result.new_desyncs > 0) {
+      obs::metric_add("serve.desyncs_total", result.new_desyncs);
+    }
+    if (result.tripped) {
+      obs::metric_add("serve.trips_total");
+      schedule_reanneal(batch.session, result);
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lk(events_mu_);
+    errors_.push_back("session " + std::to_string(batch.session->id()) + ": " + e.what());
+  }
+  finish_unit();
+}
+
+void Server::schedule_reanneal(std::shared_ptr<Session> session, Session::IngestResult trip) {
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    ++pending_units_;
+  }
+  const Clock::time_point tripped_at = Clock::now();
+  opt::ThreadPool::shared().submit(
+      [this, session = std::move(session), trip = std::move(trip), tripped_at] {
+        try {
+          const core::OptimizeResult annealed = core::optimize_assignment(
+              trip.window_stats, session->model(), session->optimize_options());
+          SwapEvent event;
+          event.session = session->id();
+          event.drift = trip.drift;
+          event.words_at_trip = trip.words_at_trip;
+          event.evaluations = annealed.evaluations;
+          event.power_before =
+              core::assignment_power(trip.window_stats, trip.current, session->model());
+          event.power_after = annealed.power;
+          event.installed = session->install(annealed.assignment);
+          event.latency_ms = ms_between(tripped_at, Clock::now());
+          if (event.installed) obs::metric_add("serve.swaps_total");
+          std::lock_guard<std::mutex> lk(events_mu_);
+          swaps_.push_back(std::move(event));
+        } catch (const std::exception& e) {
+          session->abandon_reanneal();
+          obs::metric_add("serve.reanneal_failures_total");
+          std::lock_guard<std::mutex> lk(events_mu_);
+          errors_.push_back("session " + std::to_string(session->id()) +
+                            " re-anneal failed: " + e.what());
+        }
+        finish_unit();
+      });
+}
+
+void Server::finish_unit() {
+  std::lock_guard<std::mutex> lk(idle_mu_);
+  --pending_units_;
+  if (pending_units_ == 0) idle_cv_.notify_all();
+}
+
+void Server::drain() {
+  auto& pool = opt::ThreadPool::shared();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(idle_mu_);
+      if (pending_units_ == 0) return;
+    }
+    // Help run queued jobs instead of sleeping: drain() then completes even
+    // when every pool worker is parked inside a long re-anneal.
+    if (!pool.try_run_one()) {
+      std::unique_lock<std::mutex> lk(idle_mu_);
+      idle_cv_.wait_for(lk, std::chrono::milliseconds(1),
+                        [&] { return pending_units_ == 0; });
+      if (pending_units_ == 0) return;
+    }
+  }
+}
+
+SessionSnapshot Server::session_stats(std::uint64_t id) const {
+  return find_session(id)->snapshot();
+}
+
+SessionSnapshot Server::close_session(std::uint64_t id) {
+  std::shared_ptr<Session> session = find_session(id);  // throws early on bad id
+  drain();  // every queued batch and in-flight re-anneal for it has landed
+  SessionSnapshot snap = session->snapshot();
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  sessions_.erase(id);
+  closed_desyncs_ += snap.desyncs;
+  closed_trips_ += snap.trips;
+  closed_swaps_ += snap.swaps;
+  return snap;
+}
+
+std::vector<SwapEvent> Server::poll_swaps() {
+  std::lock_guard<std::mutex> lk(events_mu_);
+  return std::exchange(swaps_, {});
+}
+
+std::vector<std::string> Server::poll_errors() {
+  std::lock_guard<std::mutex> lk(events_mu_);
+  return std::exchange(errors_, {});
+}
+
+Server::Totals Server::totals() const {
+  Totals t;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    t.sessions_opened = sessions_opened_;
+    t.desyncs = closed_desyncs_;
+    t.trips = closed_trips_;
+    t.swaps = closed_swaps_;
+    for (const auto& [id, session] : sessions_) {
+      const SessionSnapshot snap = session->snapshot();
+      t.desyncs += snap.desyncs;
+      t.trips += snap.trips;
+      t.swaps += snap.swaps;
+    }
+  }
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  t.batches = batches_total_;
+  t.words = words_total_;
+  t.max_queue_depth = max_queue_depth_;
+  return t;
+}
+
+}  // namespace tsvcod::serve

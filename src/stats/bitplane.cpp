@@ -306,9 +306,45 @@ BitplaneAccumulator::BitplaneAccumulator(std::size_t width)
 
 void BitplaneAccumulator::prime(std::uint64_t word) {
   if (samples_ != 0 || primed_) {
-    throw std::logic_error("BitplaneAccumulator::prime: stream already started");
+    // Name the exact state so the misuse is diagnosable: priming after a
+    // windowed reset (primed, zero samples) used to be indistinguishable
+    // from priming mid-stream, and silently overwriting the carried seam
+    // word mis-counts every transition of the new window.
+    std::ostringstream os;
+    os << "BitplaneAccumulator::prime: stream already started (";
+    if (primed_ && samples_ == 0) {
+      os << "already primed with a seam word — e.g. by reset_window(), which "
+            "carries the previous window's last word over";
+    } else {
+      os << samples_ << " words consumed" << (primed_ ? ", primed" : "");
+    }
+    os << "; " << n_ << " buffered transitions, width " << width_
+       << "). prime() is only valid on a fresh or fully reset() accumulator.";
+    throw std::logic_error(os.str());
   }
   prev_ = word & mask_;
+  block_prev_ = prev_;
+  primed_ = true;
+}
+
+void BitplaneAccumulator::reset() {
+  counts_ = SwitchingCounts(width_);
+  samples_ = 0;
+  primed_ = false;
+  prev_ = 0;
+  block_prev_ = 0;
+  n_ = 0;
+  blocks_ = 0;
+}
+
+void BitplaneAccumulator::reset_window() {
+  if (samples_ == 0 && !primed_) return;  // no stream yet: nothing to carry
+  counts_ = SwitchingCounts(width_);
+  samples_ = 0;
+  n_ = 0;
+  blocks_ = 0;
+  // Continue the chain: the last word seen becomes the new window's seam
+  // word (primed, its ones already owned by the previous window).
   block_prev_ = prev_;
   primed_ = true;
 }

@@ -82,8 +82,31 @@ class BitplaneAccumulator {
 
   /// Seed the transition chain with `word` *without* counting its bits —
   /// used by chunked reduction, where the seam word's ones belong to the
-  /// previous chunk. Only valid before the first add().
+  /// previous chunk. Only valid on a fresh (or fully reset()) accumulator:
+  /// once any word has been consumed, or after reset_window() carried the
+  /// previous window's last word over as the seam, re-priming would silently
+  /// break the seam-chain invariant (see below), so it throws a
+  /// std::logic_error naming the accumulator state instead.
   void prime(std::uint64_t word);
+
+  /// Full power-on reset: counts cleared AND the transition chain forgotten.
+  /// prime() is valid again afterwards.
+  void reset();
+
+  /// Start a new counting window while *continuing* the transition chain:
+  /// counts (words, transitions, buffered tail) are cleared, but the last
+  /// word seen is carried over as the new window's seam word, exactly as if
+  /// prime() had been called with it. Tumbling windows produced this way
+  /// merge back to the exact whole-stream counts.
+  ///
+  /// Seam-chain invariant: at every moment, `prev_` is the last word of the
+  /// stream so far and exactly one accumulator "owns" its one-bits — the
+  /// window/chunk in which it was add()ed. A window reset transfers the word
+  /// but not the ownership (primed, not counted), and priming again on top
+  /// of that would either double-count or drop the seam transition — which
+  /// is why prime() rejects it. No-op on an accumulator that has seen no
+  /// words.
+  void reset_window();
 
   /// Feed the next word of the stream.
   void add(std::uint64_t word);

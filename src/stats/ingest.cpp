@@ -2,27 +2,66 @@
 
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
 
 #include "obs/obs.hpp"
 #include "obs/profile.hpp"
 
 namespace tsvcod::stats {
 
+ChunkFolder::ChunkFolder(std::size_t width, int threads)
+    : width_(width), threads_(threads), total_(width) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("ChunkFolder: width must be in [1, 64], got " +
+                                std::to_string(width));
+  }
+}
+
+void ChunkFolder::fold(std::span<const std::uint64_t> chunk) {
+  // Seam-chain invariant: an empty chunk carries no words and no
+  // transitions, so it must not touch the seam (chunk.back() on an empty
+  // span is UB, and even a masked read here would desync every later chunk).
+  if (chunk.empty()) return;
+  total_.merge(compute_counts_primed(primed_, prime_, chunk, width_, threads_));
+  prime_ = chunk.back();
+  primed_ = true;
+}
+
+std::uint64_t ChunkFolder::seam() const {
+  if (!primed_) {
+    throw std::logic_error("ChunkFolder::seam: no word folded yet (unprimed, width " +
+                           std::to_string(width_) + ")");
+  }
+  return prime_;
+}
+
+void ChunkFolder::reset() {
+  total_ = SwitchingCounts(width_);
+  primed_ = false;
+  prime_ = 0;
+}
+
+void ChunkFolder::reset_window() {
+  // Keep the seam: the next window's first word still transitions from the
+  // previous window's last word, so tumbling windows merge back to the
+  // exact whole-stream counts.
+  total_ = SwitchingCounts(width_);
+}
+
 SwitchingCounts compute_counts(streams::WordSource& source, std::size_t width, int threads) {
   obs::Span span("stats.ingest");
   const auto t0 = std::chrono::steady_clock::now();
 
   source.reset();
-  SwitchingCounts total(width);
-  bool primed = false;
-  std::uint64_t prime = 0;
-  std::uint64_t words_total = 0;
+  ChunkFolder folder(width, threads);
+  // WordSource contract: an empty chunk appears exactly once, at
+  // exhaustion. The folder itself also tolerates empty chunks (no seam
+  // update), so a source that hands one out early merely truncates instead
+  // of corrupting the seam chain.
   for (auto chunk = source.next_chunk(); !chunk.empty(); chunk = source.next_chunk()) {
-    total.merge(compute_counts_primed(primed, prime, chunk, width, threads));
-    prime = chunk.back();
-    primed = true;
-    words_total += chunk.size();
+    folder.fold(chunk);
   }
+  const std::uint64_t words_total = folder.words();
 
   if (obs::metrics_enabled()) {
     obs::metric_add("trace.ingest.count");
@@ -43,7 +82,7 @@ SwitchingCounts compute_counts(streams::WordSource& source, std::size_t width, i
   }
   obs::profile_work("words", words_total);
   obs::profile_work("bytes", source.bytes());
-  return total;
+  return folder.counts();
 }
 
 SwitchingStats compute_stats(streams::WordSource& source, std::size_t width, int threads) {

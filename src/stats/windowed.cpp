@@ -1,5 +1,6 @@
 #include "stats/windowed.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
@@ -44,6 +45,16 @@ void WindowedAccumulator::add(std::uint64_t word) {
   }
   prev_ = word;
   ++samples_;
+}
+
+void WindowedAccumulator::reset() {
+  samples_ = 0;
+  prev_ = 0;
+  weight_words_ = 0.0;
+  weight_trans_ = 0.0;
+  std::fill(ones_.begin(), ones_.end(), 0.0);
+  std::fill(self_.begin(), self_.end(), 0.0);
+  for (auto& v : cross_.data()) v = 0.0;
 }
 
 SwitchingStats WindowedAccumulator::snapshot() const {

@@ -29,6 +29,13 @@ class WindowedAccumulator {
   /// Current estimates (needs >= 2 words).
   SwitchingStats snapshot() const;
 
+  /// Power-on reset: estimates, weights, sample count and the previous-word
+  /// history are all cleared, so subsequent add()s are bit-identical to a
+  /// freshly constructed accumulator (the first word after reset() starts a
+  /// new transition chain — it does NOT form a transition with the last word
+  /// before the reset).
+  void reset();
+
  private:
   std::size_t width_;
   double alpha_;  ///< per-word decay factor

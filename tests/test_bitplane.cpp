@@ -6,11 +6,13 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "phys/matrix.hpp"
 #include "stats/bitplane.hpp"
+#include "stats/ingest.hpp"
 #include "stats/subset.hpp"
 #include "stats/switching_stats.hpp"
 
@@ -292,6 +294,172 @@ TEST(Bitplane, MasksBitsAboveWidthLikeTheScalarPath) {
     masked[t] = raw[t] & 0x1F;  // width 5
   }
   expect_bitwise_equal(stats::compute_stats(raw, 5, 1), stats::compute_stats(masked, 5, 1));
+}
+
+// --- ChunkFolder: the hardened seam-chain bookkeeping -----------------------
+
+void expect_counts_equal(const stats::SwitchingCounts& got, const stats::SwitchingCounts& want) {
+  ASSERT_EQ(got.width, want.width);
+  EXPECT_EQ(got.words, want.words);
+  EXPECT_EQ(got.transitions, want.transitions);
+  EXPECT_EQ(got.ones, want.ones);
+  EXPECT_EQ(got.self, want.self);
+  EXPECT_EQ(got.cross, want.cross);
+}
+
+TEST(ChunkFolder, ExhaustiveTinyChunkPartitionsMatchOneShot) {
+  // The seam-edge satellite: every composition of a short trace into chunks
+  // of size 1 and 2, with an empty chunk additionally injected at every
+  // boundary, must be bit-identical to the one-shot fold. Chunk sizes 0 / 1
+  // / 2 are exactly the shapes that used to be UB or mis-primed.
+  std::mt19937_64 rng(53);
+  const auto words = make_trace(rng, 11, 9, 2);
+  const auto whole = stats::compute_counts(words, 11, 1);
+  const std::span<const std::uint64_t> all(words);
+
+  // Enumerate compositions of 9 into parts {1, 2} via bitmask over 9 slots.
+  for (unsigned mask = 0; mask < (1u << words.size()); ++mask) {
+    std::vector<std::size_t> sizes;
+    std::size_t left = words.size();
+    bool valid = true;
+    for (unsigned bit = 0; left > 0; ++bit) {
+      const std::size_t take = (mask >> bit) & 1u ? 2 : 1;
+      if (take > left) {
+        valid = false;
+        break;
+      }
+      sizes.push_back(take);
+      left -= take;
+    }
+    if (!valid) continue;
+
+    for (std::size_t empty_at = 0; empty_at <= sizes.size(); ++empty_at) {
+      stats::ChunkFolder folder(11);
+      std::size_t offset = 0;
+      for (std::size_t c = 0; c <= sizes.size(); ++c) {
+        if (c == empty_at) folder.fold({});  // empty chunk: must be a no-op
+        if (c == sizes.size()) break;
+        folder.fold(all.subspan(offset, sizes[c]));
+        offset += sizes[c];
+      }
+      expect_counts_equal(folder.counts(), whole);
+    }
+  }
+}
+
+TEST(ChunkFolder, EmptyChunkLeavesTheSeamUntouched) {
+  stats::ChunkFolder folder(8);
+  EXPECT_FALSE(folder.primed());
+  EXPECT_THROW((void)folder.seam(), std::logic_error);
+
+  folder.fold({});  // empty before any word: still unprimed
+  EXPECT_FALSE(folder.primed());
+
+  const std::vector<std::uint64_t> one{0xA5};
+  folder.fold(one);
+  EXPECT_TRUE(folder.primed());
+  EXPECT_EQ(folder.seam(), 0xA5u);
+  EXPECT_EQ(folder.words(), 1u);
+
+  folder.fold({});  // empty mid-stream: seam must survive
+  EXPECT_EQ(folder.seam(), 0xA5u);
+
+  const std::vector<std::uint64_t> next{0x5A};
+  folder.fold(next);
+  EXPECT_EQ(folder.counts().transitions, 1u);  // 0xA5 -> 0x5A counted once
+  EXPECT_EQ(folder.seam(), 0x5Au);
+}
+
+TEST(ChunkFolder, ResetForgetsTheSeamResetWindowCarriesIt) {
+  std::mt19937_64 rng(59);
+  const auto words = make_trace(rng, 8, 600, 1);
+  const auto whole = stats::compute_counts(words, 8, 1);
+  const std::span<const std::uint64_t> all(words);
+
+  // Windowed: fold in three windows with reset_window between them; the
+  // window counts must merge to the exact whole-stream counts.
+  stats::ChunkFolder folder(8);
+  stats::SwitchingCounts merged(8);
+  folder.fold(all.subspan(0, 200));
+  merged.merge(folder.counts());
+  folder.reset_window();
+  EXPECT_EQ(folder.words(), 0u);
+  EXPECT_TRUE(folder.primed()) << "reset_window keeps the seam";
+  folder.fold(all.subspan(200, 200));
+  merged.merge(folder.counts());
+  folder.reset_window();
+  folder.fold(all.subspan(400));
+  merged.merge(folder.counts());
+  expect_counts_equal(merged, whole);
+
+  // Full reset: the next fold starts a fresh stream (no seam transition).
+  folder.reset();
+  EXPECT_FALSE(folder.primed());
+  folder.fold(all.subspan(0, 200));
+  expect_counts_equal(folder.counts(), stats::compute_counts(all.subspan(0, 200), 8, 1));
+}
+
+TEST(ChunkFolder, RejectsOutOfRangeWidth) {
+  EXPECT_THROW(stats::ChunkFolder(0), std::invalid_argument);
+  EXPECT_THROW(stats::ChunkFolder(65), std::invalid_argument);
+}
+
+TEST(Bitplane, ResetWindowWindowsMergeToWholeStream) {
+  std::mt19937_64 rng(61);
+  const auto words = make_trace(rng, 13, 500, 2);
+  const auto whole = stats::compute_counts(words, 13, 1);
+
+  stats::BitplaneAccumulator acc(13);
+  stats::SwitchingCounts merged(13);
+  for (std::size_t t = 0; t < words.size(); ++t) {
+    acc.add(words[t]);
+    if ((t + 1) % 150 == 0) {  // window boundary (not block-aligned: 150 % 64 != 0)
+      merged.merge(acc.counts());
+      acc.reset_window();
+    }
+  }
+  merged.merge(acc.counts());
+  EXPECT_EQ(merged.words, whole.words);
+  EXPECT_EQ(merged.transitions, whole.transitions);
+  expect_counts_equal(merged, whole);
+}
+
+TEST(Bitplane, PrimeAfterResetWindowThrowsNamingTheState) {
+  // The silent mis-prime surface: after reset_window() the accumulator is
+  // primed with the carried seam word, and a prime() would overwrite it and
+  // mis-count the next window's first transition. The error must say so.
+  stats::BitplaneAccumulator acc(6);
+  acc.add(1);
+  acc.add(2);
+  acc.reset_window();
+  try {
+    acc.prime(7);
+    FAIL() << "prime() after reset_window() must throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("seam word"), std::string::npos) << what;
+    EXPECT_NE(what.find("reset_window"), std::string::npos) << what;
+    EXPECT_NE(what.find("width 6"), std::string::npos) << what;
+  }
+
+  // Mid-stream prime still names the consumed-word state instead.
+  stats::BitplaneAccumulator busy(6);
+  busy.add(1);
+  try {
+    busy.prime(7);
+    FAIL() << "prime() mid-stream must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 words consumed"), std::string::npos) << e.what();
+  }
+
+  // A full reset() returns to the power-on state where prime() is legal.
+  acc.reset();
+  EXPECT_NO_THROW(acc.prime(7));
+
+  // reset_window() before any stream exists is a no-op; prime() stays legal.
+  stats::BitplaneAccumulator fresh(6);
+  fresh.reset_window();
+  EXPECT_NO_THROW(fresh.prime(3));
 }
 
 }  // namespace

@@ -61,6 +61,51 @@ TEST(Windowed, Guards) {
   EXPECT_THROW(w.snapshot(), std::logic_error);
 }
 
+TEST(Windowed, ResetIsBitIdenticalToAFreshAccumulator) {
+  // reset() must return to the power-on state: the same adds afterwards give
+  // bitwise-identical estimates, with no phantom transition from the last
+  // pre-reset word into the first post-reset word.
+  std::mt19937_64 rng(321);
+  stats::WindowedAccumulator used(6, 200.0), fresh(6, 200.0);
+  for (int t = 0; t < 3000; ++t) used.add(rng() & 0x3F);
+  used.reset();
+  EXPECT_EQ(used.samples(), 0u);
+  EXPECT_THROW(used.snapshot(), std::logic_error) << "reset means < 2 samples again";
+
+  std::mt19937_64 replay(654);
+  std::vector<std::uint64_t> words(2000);
+  for (auto& w : words) w = replay() & 0x3F;
+  for (const auto w : words) {
+    used.add(w);
+    fresh.add(w);
+  }
+  const auto a = used.snapshot();
+  const auto b = fresh.snapshot();
+  EXPECT_EQ(a.self, b.self);
+  EXPECT_EQ(a.prob_one, b.prob_one);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(a.coupling(i, j), b.coupling(i, j));
+  }
+}
+
+TEST(Windowed, ResetAtARegimeBoundaryDropsTheOldRegime) {
+  // Window-boundary interaction: without reset, the old regime bleeds into
+  // the estimate through the exponential tail; with reset it is gone
+  // entirely — the use case of re-arming the monitor after a hot-swap.
+  stats::WindowedAccumulator carried(4, 500.0), rearmed(4, 500.0);
+  for (int t = 0; t < 4000; ++t) {
+    carried.add(t % 2 ? 0b1111 : 0b0000);
+    rearmed.add(t % 2 ? 0b1111 : 0b0000);
+  }
+  rearmed.reset();
+  for (int t = 0; t < 300; ++t) {
+    carried.add(0b0000);
+    rearmed.add(0b0000);
+  }
+  EXPECT_GT(carried.snapshot().self[0], 0.3) << "exponential tail remembers the hot regime";
+  EXPECT_NEAR(rearmed.snapshot().self[0], 0.0, 1e-12) << "reset forgets it completely";
+}
+
 TEST(Windowed, MasksStrayBitsLikeTheBatchAccumulator) {
   // Regression for the toggle-mask fast path: garbage above the declared
   // width must not leak into the estimates — exactly the batch accumulator's

@@ -335,6 +335,83 @@ TEST_F(ProfileTest, SnapshotsRotateAndMarkFinal) {
   for (const char* suffix : {"", ".1", ".2"}) std::remove((path + suffix).c_str());
 }
 
+TEST_F(ProfileTest, SnapshotIntervalMustBePositiveNamingTheKnob) {
+  obs::SnapshotOptions opts;
+  opts.interval = std::chrono::milliseconds(0);
+  try {
+    obs::start_snapshots("/tmp/tsvcod_test_snapshot_bad.json", opts);
+    FAIL() << "non-positive interval must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--snapshot-interval"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("TSVCOD_SNAPSHOT_INTERVAL"), std::string::npos) << msg;
+  }
+  EXPECT_FALSE(obs::snapshots_running()) << "a rejected start leaves the exporter stopped";
+
+  opts.interval = std::chrono::milliseconds(-5);
+  EXPECT_THROW(obs::start_snapshots("/tmp/tsvcod_test_snapshot_bad.json", opts),
+               std::invalid_argument);
+}
+
+TEST_F(ProfileTest, InitFromEnvRejectsMalformedSnapshotInterval) {
+  const std::string path = "/tmp/tsvcod_test_snapshot_env.json";
+  setenv("TSVCOD_SNAPSHOT", path.c_str(), 1);
+  for (const char* bad : {"0", "-2", "fast", "1.5x", ""}) {
+    setenv("TSVCOD_SNAPSHOT_INTERVAL", bad, 1);
+    if (*bad == '\0') {
+      // Empty means unset: the default interval applies and startup succeeds.
+      obs::init_from_env();
+      EXPECT_TRUE(obs::snapshots_running());
+      obs::stop_snapshots();
+      continue;
+    }
+    try {
+      obs::init_from_env();
+      FAIL() << "TSVCOD_SNAPSHOT_INTERVAL='" << bad << "' must be rejected";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("TSVCOD_SNAPSHOT_INTERVAL"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(bad), std::string::npos) << "message should quote the value: " << msg;
+    }
+    EXPECT_FALSE(obs::snapshots_running());
+  }
+  unsetenv("TSVCOD_SNAPSHOT");
+  unsetenv("TSVCOD_SNAPSHOT_INTERVAL");
+  std::remove(path.c_str());
+}
+
+TEST_F(ProfileTest, StopRacingPeriodicWritesAlwaysLeavesFinalTrue) {
+  // stop_snapshots() joins the worker before writing the closing document,
+  // so even when stop lands mid-periodic-write the last document on disk is
+  // the final one. Run several short rounds with a 1 ms interval and a
+  // stopper thread racing the worker; under the tsan-profile preset this
+  // also proves the lifecycle handshake is data-race-free.
+  const std::string path = "/tmp/tsvcod_test_snapshot_race.json";
+  for (int round = 0; round < 8; ++round) {
+    std::remove(path.c_str());
+    obs::SnapshotOptions opts;
+    opts.interval = std::chrono::milliseconds(1);
+    opts.keep = 0;
+    obs::start_snapshots(path, opts);
+    obs::metric_add("snapshot.race.counter");
+    // Vary how far into the periodic cadence the stop lands.
+    std::this_thread::sleep_for(std::chrono::microseconds(300 * round));
+    std::thread stopper([] { obs::stop_snapshots(); });
+    obs::stop_snapshots();  // concurrent stops: exactly one final write
+    stopper.join();
+    EXPECT_FALSE(obs::snapshots_running());
+
+    std::ifstream is(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    const json::Value doc = json::parse(ss.str());  // rename keeps it untorn
+    ASSERT_NE(doc.find("final"), nullptr);
+    EXPECT_TRUE(doc.find("final")->boolean)
+        << "round " << round << ": final:true must be the last document";
+  }
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Benchdiff gate
 // ---------------------------------------------------------------------------

@@ -1,0 +1,385 @@
+// Streaming service layer: frame protocol, per-session seam-chained
+// statistics, sharded ingestion with backpressure, and the drift-triggered
+// re-anneal + atomic hot-swap path. The concurrency tests here are the ones
+// the asan-serve / tsan-serve presets exist for.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "phys/tsv_geometry.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "stats/ingest.hpp"
+#include "tsv/linear_model.hpp"
+
+namespace {
+
+using namespace tsvcod;
+
+tsv::LinearCapacitanceModel model8() {
+  static const tsv::LinearCapacitanceModel model =
+      tsv::fit_from_analytic(phys::TsvArrayGeometry::itrs2018_relaxed(2, 4));
+  return model;
+}
+
+serve::SessionConfig config8() {
+  serve::SessionConfig cfg;
+  cfg.width = 8;
+  cfg.model = model8();
+  cfg.codec.name = "correlator";
+  cfg.drift.window_words = 256;
+  cfg.drift.threshold = 0.0;  // drift detection off unless a test enables it
+  cfg.optimize.schedule.iterations = 2000;
+  cfg.optimize.schedule.restarts = 1;
+  cfg.optimize.chains = 2;
+  return cfg;
+}
+
+/// Deterministic per-session traffic. `phase_shift_at` switches the busy bit
+/// group mid-stream, which is exactly what the drift detector keys on.
+std::vector<std::uint64_t> traffic(unsigned seed, std::size_t n, std::size_t phase_shift_at) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> words;
+  words.reserve(n);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prev ^= i < phase_shift_at ? (rng() & 0x7u) : ((rng() & 0x7u) << 5);
+    words.push_back(prev);
+  }
+  return words;
+}
+
+stats::SwitchingCounts batch_counts(std::span<const std::uint64_t> words, std::size_t width) {
+  stats::ChunkFolder folder(width);
+  folder.fold(words);
+  return folder.counts();
+}
+
+void expect_counts_equal(const stats::SwitchingCounts& got, const stats::SwitchingCounts& want) {
+  ASSERT_EQ(got.width, want.width);
+  EXPECT_EQ(got.words, want.words);
+  EXPECT_EQ(got.transitions, want.transitions);
+  EXPECT_EQ(got.ones, want.ones);
+  EXPECT_EQ(got.self, want.self);
+  EXPECT_EQ(got.cross, want.cross);
+}
+
+// --- drift metric -----------------------------------------------------------
+
+TEST(DriftMetric, ZeroForIdenticalStatsAndChecksWidth) {
+  const auto words = traffic(1, 1000, 1000);
+  const auto s = batch_counts(words, 8).finalize();
+  EXPECT_EQ(serve::drift_metric(s, s), 0.0);
+
+  const auto narrow = batch_counts(words, 4).finalize();
+  EXPECT_THROW(serve::drift_metric(s, narrow), std::invalid_argument);
+}
+
+TEST(DriftMetric, DetectsActivityShift) {
+  const auto words = traffic(2, 2048, 1024);
+  const std::span<const std::uint64_t> all(words);
+  const auto phase_a = batch_counts(all.subspan(0, 1024), 8).finalize();
+  const auto phase_b = batch_counts(all.subspan(1024), 8).finalize();
+  const auto whole = batch_counts(all, 8).finalize();
+  // Different bit groups are busy in the two phases: large drift between
+  // them, and each phase clearly differs from the blend too.
+  EXPECT_GT(serve::drift_metric(phase_a, phase_b), 0.5);
+  EXPECT_GT(serve::drift_metric(phase_b, whole), 0.2);
+}
+
+// --- session ----------------------------------------------------------------
+
+TEST(Session, ConfigValidationNamesTheField) {
+  auto cfg = config8();
+  cfg.codec.name = "bus-invert";  // expands 8 -> 9 lines
+  try {
+    serve::Session session(1, cfg);
+    FAIL() << "expanding codec accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bus-invert"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("width-preserving"), std::string::npos);
+  }
+
+  cfg = config8();
+  cfg.drift.window_words = 1;
+  EXPECT_THROW(serve::Session(1, cfg), std::invalid_argument);
+
+  cfg = config8();
+  cfg.width = 6;  // model is 8-wide
+  EXPECT_THROW(serve::Session(1, cfg), std::invalid_argument);
+}
+
+TEST(Session, StatsBitIdenticalToBatchAtRaggedChunkSizes) {
+  // The seam-edge satellite, end to end: empty, 1-word and 2-word chunks
+  // interleaved with larger ones must reproduce the one-shot counts exactly.
+  const auto words = traffic(3, 3000, 3000);
+  const std::span<const std::uint64_t> all(words);
+
+  for (const char* codec : {"", "correlator", "gray"}) {
+    auto cfg = config8();
+    cfg.codec.name = codec;
+    serve::Session session(7, cfg);
+
+    const std::size_t sizes[] = {0, 1, 2, 0, 7, 64, 1, 256, 0, 2, 33};
+    std::size_t offset = 0;
+    std::size_t k = 0;
+    while (offset < all.size()) {
+      const std::size_t take = std::min(sizes[k++ % std::size(sizes)], all.size() - offset);
+      session.ingest(all.subspan(offset, take));
+      offset += take;
+    }
+
+    const serve::SessionSnapshot snap = session.snapshot();
+    EXPECT_EQ(snap.desyncs, 0u) << codec;
+    EXPECT_EQ(snap.words, words.size());
+    expect_counts_equal(snap.longrun, batch_counts(all, 8));
+  }
+}
+
+TEST(Session, WindowsMergeToWholeStreamCounts) {
+  // Tumbling windows (seam carried across boundaries) must sum to the exact
+  // whole-stream counts even when chunk boundaries and window boundaries
+  // interleave arbitrarily.
+  auto cfg = config8();
+  cfg.drift.window_words = 100;  // never aligned with the chunking below
+  serve::Session session(9, cfg);
+
+  const auto words = traffic(4, 2513, 2513);
+  const std::span<const std::uint64_t> all(words);
+  std::size_t offset = 0;
+  std::size_t step = 1;
+  while (offset < all.size()) {
+    const std::size_t take = std::min(step++ % 97, all.size() - offset);
+    session.ingest(all.subspan(offset, take));
+    offset += take;
+  }
+
+  const serve::SessionSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.windows, words.size() / 100);
+  expect_counts_equal(snap.longrun, batch_counts(all, 8));
+}
+
+TEST(Session, DriftTripsOncePerReannealInFlight) {
+  auto cfg = config8();
+  cfg.drift.threshold = 0.05;
+  serve::Session session(2, cfg);
+
+  const auto words = traffic(5, 4096, 1024);
+  serve::Session::IngestResult first = session.ingest(words);
+  ASSERT_TRUE(first.tripped);
+  EXPECT_GT(first.drift, 0.05);
+  EXPECT_GE(first.window_stats.transitions, 255u);
+
+  // While the re-anneal is in flight, later windows must not re-trip.
+  const auto more = traffic(6, 1024, 0);
+  EXPECT_FALSE(session.ingest(more).tripped);
+
+  // Install clears the flag; the next drifting window may trip again.
+  EXPECT_TRUE(session.install(core::SignedPermutation::identity(8)));
+  EXPECT_FALSE(session.install(core::SignedPermutation::identity(8)));  // no trip pending
+  const serve::SessionSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.trips, 1u);
+  EXPECT_EQ(snap.swaps, 1u);
+  EXPECT_EQ(snap.desyncs, 0u);
+}
+
+// --- server -----------------------------------------------------------------
+
+TEST(Server, RejectsUnknownAndDuplicateSessions) {
+  serve::Server server({.shards = 2, .queue_capacity = 4});
+  EXPECT_THROW(server.ingest(42, {1, 2, 3}), std::invalid_argument);
+  server.open_session(42, config8());
+  EXPECT_THROW(server.open_session(42, config8()), std::invalid_argument);
+  server.drain();
+}
+
+TEST(Server, EightConcurrentSessionsStayBitIdentical) {
+  // The acceptance bar: >= 8 concurrent sessions, per-session statistics
+  // bit-identical to the batch fold of the same words, zero desyncs.
+  serve::Server server({.shards = 4, .queue_capacity = 8});
+  constexpr int kSessions = 8;
+  constexpr std::size_t kWords = 6000;
+
+  std::vector<std::vector<std::uint64_t>> streams;
+  for (int s = 0; s < kSessions; ++s) {
+    server.open_session(static_cast<std::uint64_t>(s), config8());
+    streams.push_back(traffic(100 + static_cast<unsigned>(s), kWords, kWords / 2));
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    producers.emplace_back([&, s] {
+      const auto& words = streams[static_cast<std::size_t>(s)];
+      std::size_t offset = 0;
+      std::size_t step = 11 + static_cast<std::size_t>(s);
+      while (offset < words.size()) {
+        const std::size_t take = std::min(step, words.size() - offset);
+        server.ingest(static_cast<std::uint64_t>(s),
+                      {words.begin() + static_cast<std::ptrdiff_t>(offset),
+                       words.begin() + static_cast<std::ptrdiff_t>(offset + take)});
+        offset += take;
+        step = step * 31 % 97 + 1;  // ragged, deterministic batch sizes
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  server.drain();
+
+  for (int s = 0; s < kSessions; ++s) {
+    const auto snap = server.session_stats(static_cast<std::uint64_t>(s));
+    EXPECT_EQ(snap.desyncs, 0u) << "session " << s;
+    expect_counts_equal(snap.longrun,
+                        batch_counts(streams[static_cast<std::size_t>(s)], 8));
+  }
+  EXPECT_EQ(server.totals().words, kSessions * kWords);
+  EXPECT_EQ(server.totals().desyncs, 0u);
+  EXPECT_TRUE(server.poll_errors().empty());
+}
+
+TEST(Server, DriftTriggeredReannealHotSwapsWithZeroDesyncs) {
+  serve::Server server({.shards = 2, .queue_capacity = 8});
+  auto cfg = config8();
+  cfg.drift.threshold = 0.05;
+  server.open_session(1, cfg);
+
+  // Phase-shifted traffic in small batches so the swap lands mid-stream
+  // while later batches are still flowing through the link.
+  const auto words = traffic(42, 8192, 2048);
+  for (std::size_t offset = 0; offset < words.size(); offset += 128) {
+    server.ingest(1, {words.begin() + static_cast<std::ptrdiff_t>(offset),
+                      words.begin() + static_cast<std::ptrdiff_t>(offset + 128)});
+  }
+  server.drain();
+
+  const auto snap = server.session_stats(1);
+  EXPECT_GE(snap.swaps, 1u);
+  EXPECT_EQ(snap.desyncs, 0u);
+  expect_counts_equal(snap.longrun, batch_counts(words, 8));
+
+  const auto swaps = server.poll_swaps();
+  ASSERT_GE(swaps.size(), 1u);
+  for (const auto& swap : swaps) {
+    EXPECT_TRUE(swap.installed);
+    EXPECT_GT(swap.drift, 0.05);
+    EXPECT_LE(swap.power_after, swap.power_before);  // annealer only improves
+    EXPECT_GT(swap.words_at_trip, 0u);
+    const std::string json = swap.to_json();
+    EXPECT_NE(json.find("\"event\":\"swap\""), std::string::npos);
+    EXPECT_NE(json.find("\"installed\":true"), std::string::npos);
+  }
+  EXPECT_TRUE(server.poll_errors().empty());
+}
+
+TEST(Server, BackpressureBoundsTheQueueAndLosesNothing) {
+  serve::Server server({.shards = 1, .queue_capacity = 2});
+  server.open_session(5, config8());
+
+  const auto words = traffic(8, 4096, 4096);
+  for (std::size_t offset = 0; offset < words.size(); offset += 32) {
+    server.ingest(5, {words.begin() + static_cast<std::ptrdiff_t>(offset),
+                      words.begin() + static_cast<std::ptrdiff_t>(offset + 32)});
+  }
+  server.drain();
+
+  EXPECT_LE(server.totals().max_queue_depth, 2u);  // producer blocked, not queued
+  const auto snap = server.close_session(5);
+  EXPECT_EQ(snap.words, words.size());
+  expect_counts_equal(snap.longrun, batch_counts(words, 8));
+  EXPECT_THROW(server.session_stats(5), std::invalid_argument);  // closed
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, FramesRoundTrip) {
+  std::string stream;
+  serve::Frame open;
+  open.type = serve::FrameType::open;
+  open.session = 7;
+  open.text = "codec=gray window=512";
+  stream += serve::encode_frame(open);
+
+  serve::Frame data;
+  data.type = serve::FrameType::data;
+  data.session = 7;
+  data.words = {0x0123456789abcdefull, 0, ~0ull, 42};
+  stream += serve::encode_frame(data);
+
+  for (const serve::FrameType t :
+       {serve::FrameType::stats, serve::FrameType::close, serve::FrameType::shutdown}) {
+    serve::Frame f;
+    f.type = t;
+    f.session = t == serve::FrameType::shutdown ? 0u : 7u;
+    stream += serve::encode_frame(f);
+  }
+
+  std::istringstream in(stream);
+  serve::Frame got;
+  ASSERT_TRUE(serve::read_frame(in, got));
+  EXPECT_EQ(got.type, serve::FrameType::open);
+  EXPECT_EQ(got.session, 7u);
+  EXPECT_EQ(got.text, open.text);
+  const auto opts = serve::parse_options(got.text);
+  EXPECT_EQ(opts.at("codec"), "gray");
+  EXPECT_EQ(opts.at("window"), "512");
+
+  ASSERT_TRUE(serve::read_frame(in, got));
+  EXPECT_EQ(got.type, serve::FrameType::data);
+  EXPECT_EQ(got.words, data.words);
+
+  for (const serve::FrameType want :
+       {serve::FrameType::stats, serve::FrameType::close, serve::FrameType::shutdown}) {
+    ASSERT_TRUE(serve::read_frame(in, got));
+    EXPECT_EQ(got.type, want);
+  }
+  EXPECT_FALSE(serve::read_frame(in, got));  // clean EOF at a frame boundary
+}
+
+TEST(Protocol, MalformedFramesFailLoudly) {
+  serve::Frame frame;
+
+  {
+    std::istringstream in(std::string("\x08\x00\x00\x00", 4));  // truncated header
+    EXPECT_THROW(serve::read_frame(in, frame), std::runtime_error);
+  }
+  {
+    std::string bad(12, '\0');
+    bad[4] = 'Z';  // unknown type
+    std::istringstream in(bad);
+    EXPECT_THROW(serve::read_frame(in, frame), std::runtime_error);
+  }
+  {
+    std::string bad(12, '\0');
+    bad[4] = 'D';
+    bad[5] = 1;  // reserved byte set
+    std::istringstream in(bad);
+    EXPECT_THROW(serve::read_frame(in, frame), std::runtime_error);
+  }
+  {
+    std::string bad(12, '\0');
+    bad[0] = 4;  // 4-byte payload on a data frame: not a multiple of 8
+    bad[4] = 'D';
+    std::istringstream in(bad + "abcd");
+    EXPECT_THROW(serve::read_frame(in, frame), std::runtime_error);
+  }
+  {
+    serve::Frame data;
+    data.type = serve::FrameType::data;
+    data.words = {1, 2, 3};
+    std::string enc = serve::encode_frame(data);
+    enc.resize(enc.size() - 5);  // truncated payload
+    std::istringstream in(enc);
+    EXPECT_THROW(serve::read_frame(in, frame), std::runtime_error);
+  }
+
+  EXPECT_THROW(serve::parse_options("novalue"), std::runtime_error);
+  EXPECT_THROW(serve::parse_options("a=1 a=2"), std::runtime_error);
+  EXPECT_TRUE(serve::parse_options("").empty());
+}
+
+}  // namespace

@@ -505,7 +505,10 @@ int main(int argc, char** argv) {
     if (args.has("snapshot-out")) {
       obs::SnapshotOptions snap;
       const double seconds = args.number_or("snapshot-interval", 1.0);
-      if (seconds <= 0.0) throw std::runtime_error("--snapshot-interval must be > 0 seconds");
+      if (seconds <= 0.0) {
+        throw std::runtime_error("--snapshot-interval (or TSVCOD_SNAPSHOT_INTERVAL) must be > 0 "
+                                 "seconds, got " + args.str("snapshot-interval"));
+      }
       snap.interval = std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0));
       obs::start_snapshots(args.str("snapshot-out"), snap);
     } else if (args.has("snapshot-interval")) {

@@ -1,0 +1,321 @@
+// tsvcod_serve: long-running streaming daemon. Length-prefixed binary frames
+// arrive on stdin (one frame = open/data/stats/close/shutdown, see
+// serve/protocol.hpp), JSON event lines leave on stdout. Many sessions (one
+// per bus/tenant) run concurrently, sharded across the shared thread pool;
+// each session folds its words into exact long-run and tumbling-window
+// switching statistics, round-trips every word through a CodedLink, and —
+// when the window drifts from the long-run statistics past the threshold —
+// re-anneals the assignment in the background and hot-swaps it atomically
+// with zero decode desyncs.
+//
+//   tsvcod_serve --rows 2 --cols 4 [--radius-um R --pitch-um D --length-um L]
+//                | --model FILE
+//     [--codec gray|correlator|t0|none]      link codec (default correlator)
+//     [--shards N]                           session shards (default 4)
+//     [--queue-capacity N]                   batches/shard before backpressure
+//     [--window WORDS]                       drift window (default 4096)
+//     [--drift-threshold X]                  trip level (default 0.25; 0 = off)
+//     [--cooldown WORDS]                     min words between swaps
+//     [--reanneal-iterations N] [--chains N] [--seed S] [--threads N]
+//     [--metrics-out FILE] [--trace-out FILE] [--profile-out FILE]
+//     [--snapshot-out FILE [--snapshot-interval SECONDS]] [--verbose]
+//
+// EOF on stdin is an implicit shutdown: outstanding work is drained and the
+// summary line is still emitted with "clean_exit":true.
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/snapshot.hpp"
+#include "opt/parallel.hpp"
+#include "phys/tsv_geometry.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "tsv/linear_model.hpp"
+#include "tsv/model_io.hpp"
+
+using namespace tsvcod;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key == "--help" || key == "-h") {
+        help_ = true;
+        continue;
+      }
+      if (key.rfind("--", 0) != 0) throw std::runtime_error("expected --flag, got: " + key);
+      key = key.substr(2);
+      if (key == "verbose") {  // boolean flag, takes no value
+        values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) throw std::runtime_error("missing value for --" + key);
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool help() const { return help_; }
+  bool has(const std::string& k) const { return values_.count(k) > 0; }
+
+  std::string str(const std::string& k) const {
+    const auto it = values_.find(k);
+    if (it == values_.end()) throw std::runtime_error("missing required --" + k);
+    return it->second;
+  }
+  std::string str_or(const std::string& k, const std::string& def) const {
+    return has(k) ? values_.at(k) : def;
+  }
+  double number_or(const std::string& k, double def) const {
+    return has(k) ? std::stod(values_.at(k)) : def;
+  }
+  std::size_t size(const std::string& k) const { return parse_size(k, str(k)); }
+  std::size_t size_or(const std::string& k, std::size_t def) const {
+    return has(k) ? parse_size(k, values_.at(k)) : def;
+  }
+
+ private:
+  static std::size_t parse_size(const std::string& k, const std::string& v) {
+    bool ok = !v.empty() && v[0] != '-' && v[0] != '+';
+    std::uint64_t out = 0;
+    if (ok) {
+      try {
+        std::size_t used = 0;
+        out = std::stoull(v, &used, 10);
+        ok = used == v.size();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      throw std::runtime_error("--" + k + " expects a non-negative integer, got: '" + v + "'");
+    }
+    return out;
+  }
+
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+/// Flush observability sinks on every exit path (clean_exit=false when an
+/// exception unwinds past finish()).
+class ObsFlusher {
+ public:
+  ObsFlusher() = default;
+  ObsFlusher(const ObsFlusher&) = delete;
+  ObsFlusher& operator=(const ObsFlusher&) = delete;
+  ~ObsFlusher() {
+    if (!armed_) return;
+    try {
+      obs::stop_snapshots();
+      obs::flush_outputs(/*clean_exit=*/false);
+    } catch (...) {
+    }
+  }
+  void finish() {
+    armed_ = false;
+    obs::stop_snapshots();
+    obs::flush_outputs(/*clean_exit=*/true);
+  }
+
+ private:
+  bool armed_ = true;
+};
+
+tsv::LinearCapacitanceModel model_from(const Args& args) {
+  if (args.has("model")) return tsv::load_linear_model(args.str("model"));
+  phys::TsvArrayGeometry g;
+  g.rows = args.size("rows");
+  g.cols = args.size("cols");
+  g.radius = args.number_or("radius-um", 1.0) * 1e-6;
+  g.pitch = args.number_or("pitch-um", 4.0) * 1e-6;
+  g.length = args.number_or("length-um", 50.0) * 1e-6;
+  g.validate();
+  return tsv::fit_from_analytic(g);
+}
+
+int threads_from(const Args& args) {
+  if (!args.has("threads")) return 0;
+  const std::size_t n = args.size("threads");
+  if (n == 0) return opt::hardware_threads();
+  if (n > 65536) throw std::runtime_error("--threads value is absurdly large: " + std::to_string(n));
+  return static_cast<int>(n);
+}
+
+void print_help() {
+  std::printf(
+      "tsvcod_serve: streaming statistics + drift-triggered re-anneal daemon\n"
+      "\n"
+      "Frames on stdin (12-byte header: u32 payload_len, u8 type, 3x0, u32 session):\n"
+      "  'O' open (payload: key=value options: codec window threshold cooldown)\n"
+      "  'D' data (payload: N x u64 LE words)   'S' stats   'C' close   'Q' shutdown\n"
+      "JSON event lines on stdout: open/stats/close/swap/error/shutdown.\n"
+      "\n"
+      "model  : --rows N --cols N [--radius-um R --pitch-um D --length-um L]\n"
+      "         | --model FILE\n"
+      "service: [--codec gray|correlator|t0|none] [--shards N] [--queue-capacity N]\n"
+      "         [--window WORDS] [--drift-threshold X] [--cooldown WORDS]\n"
+      "         [--reanneal-iterations N] [--chains N] [--seed S] [--threads N]\n"
+      "obs    : [--metrics-out FILE] [--trace-out FILE] [--profile-out FILE]\n"
+      "         [--snapshot-out FILE [--snapshot-interval SECONDS]] [--verbose]\n");
+}
+
+/// Session config: daemon-wide defaults overridden by open-frame options.
+serve::SessionConfig session_config(const Args& args, const tsv::LinearCapacitanceModel& model,
+                                    const std::map<std::string, std::string>& overrides) {
+  serve::SessionConfig cfg;
+  cfg.width = model.size();
+  cfg.model = model;
+  cfg.codec.name = args.str_or("codec", "correlator");
+  cfg.drift.window_words = args.size_or("window", 4096);
+  cfg.drift.threshold = args.number_or("drift-threshold", 0.25);
+  cfg.drift.cooldown_words = args.size_or("cooldown", 0);
+  cfg.optimize.schedule.iterations =
+      static_cast<int>(args.size_or("reanneal-iterations", 20000));
+  cfg.optimize.chains = static_cast<int>(args.size_or("chains", 4));
+  cfg.optimize.seed = static_cast<unsigned>(args.size_or("seed", 1));
+  cfg.optimize.threads = threads_from(args);
+  cfg.stats_threads = threads_from(args);
+
+  for (const auto& [key, value] : overrides) {
+    if (key == "codec") {
+      cfg.codec.name = value == "none" ? "" : value;
+    } else if (key == "window") {
+      cfg.drift.window_words = std::stoull(value);
+    } else if (key == "threshold") {
+      cfg.drift.threshold = std::stod(value);
+    } else if (key == "cooldown") {
+      cfg.drift.cooldown_words = std::stoull(value);
+    } else {
+      throw std::runtime_error("serve: unknown open option '" + key +
+                               "' (known: codec window threshold cooldown)");
+    }
+  }
+  return cfg;
+}
+
+void emit(const std::string& json_line) {
+  std::fputs(json_line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void emit_polled(serve::Server& server) {
+  for (const auto& swap : server.poll_swaps()) emit(swap.to_json());
+  for (const auto& error : server.poll_errors()) {
+    std::string line = "{\"event\":\"error\",\"message\":\"";
+    for (const char c : error) {
+      if (c == '"' || c == '\\') line += '\\';
+      line += c;
+    }
+    line += "\"}";
+    emit(line);
+  }
+}
+
+int run(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.help()) {
+    print_help();
+    return 0;
+  }
+
+  obs::init_from_env();
+  if (args.has("trace-out")) obs::set_trace_path(args.str("trace-out"));
+  if (args.has("metrics-out")) obs::set_metrics_path(args.str("metrics-out"));
+  if (args.has("profile-out")) obs::set_profile_path(args.str("profile-out"));
+  if (args.has("snapshot-out")) {
+    obs::SnapshotOptions snap;
+    const double seconds = args.number_or("snapshot-interval", 1.0);
+    if (!(seconds > 0.0)) {
+      throw std::runtime_error(
+          "--snapshot-interval (or TSVCOD_SNAPSHOT_INTERVAL) must be > 0 seconds, got " +
+          args.str("snapshot-interval"));
+    }
+    snap.interval = std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0));
+    if (snap.interval.count() <= 0) snap.interval = std::chrono::milliseconds(1);
+    obs::start_snapshots(args.str("snapshot-out"), snap);
+  } else if (args.has("snapshot-interval")) {
+    throw std::runtime_error("--snapshot-interval needs --snapshot-out (or TSVCOD_SNAPSHOT)");
+  }
+  ObsFlusher flusher;
+  const bool verbose = args.has("verbose");
+
+  const tsv::LinearCapacitanceModel model = model_from(args);
+  serve::ServerOptions options;
+  options.shards = static_cast<int>(args.size_or("shards", 4));
+  options.queue_capacity = args.size_or("queue-capacity", 64);
+  serve::Server server(options);
+
+  emit("{\"event\":\"ready\",\"width\":" + std::to_string(model.size()) +
+       ",\"shards\":" + std::to_string(options.shards) +
+       ",\"queue_capacity\":" + std::to_string(options.queue_capacity) + "}");
+
+  serve::Frame frame;
+  bool shutdown_frame = false;
+  while (!shutdown_frame && serve::read_frame(std::cin, frame)) {
+    switch (frame.type) {
+      case serve::FrameType::open: {
+        const auto cfg = session_config(args, model, serve::parse_options(frame.text));
+        server.open_session(frame.session, cfg);
+        emit("{\"event\":\"open\",\"session\":" + std::to_string(frame.session) +
+             ",\"width\":" + std::to_string(cfg.width) + ",\"codec\":\"" +
+             (cfg.codec.name.empty() ? "none" : cfg.codec.name) +
+             "\",\"window\":" + std::to_string(cfg.drift.window_words) + "}");
+        break;
+      }
+      case serve::FrameType::data:
+        server.ingest(frame.session, std::move(frame.words));
+        if (verbose) {
+          emit("{\"event\":\"batch\",\"session\":" + std::to_string(frame.session) + "}");
+        }
+        break;
+      case serve::FrameType::stats:
+        server.drain();  // exact totals: everything queued has been folded
+        emit("{\"event\":\"stats\",\"stats\":" + server.session_stats(frame.session).to_json() +
+             "}");
+        break;
+      case serve::FrameType::close:
+        emit("{\"event\":\"close\",\"stats\":" + server.close_session(frame.session).to_json() +
+             "}");
+        break;
+      case serve::FrameType::shutdown: shutdown_frame = true; break;
+    }
+    emit_polled(server);
+  }
+
+  server.drain();
+  emit_polled(server);
+  const serve::Server::Totals totals = server.totals();
+  emit("{\"event\":\"shutdown\",\"sessions\":" + std::to_string(totals.sessions_opened) +
+       ",\"batches\":" + std::to_string(totals.batches) +
+       ",\"words\":" + std::to_string(totals.words) +
+       ",\"desyncs\":" + std::to_string(totals.desyncs) +
+       ",\"trips\":" + std::to_string(totals.trips) +
+       ",\"swaps\":" + std::to_string(totals.swaps) +
+       ",\"max_queue_depth\":" + std::to_string(totals.max_queue_depth) +
+       ",\"clean_exit\":true}");
+
+  flusher.finish();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tsvcod_serve: %s\n", e.what());
+    return 1;
+  }
+}
