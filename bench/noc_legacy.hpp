@@ -1,0 +1,155 @@
+#pragma once
+// The pre-batched NoC engine, vendored verbatim from the repo's history
+// (commit ae43df6, src/noc/{router,simulator}.{hpp,cpp}) minus the probe and
+// obs plumbing the benchmark does not exercise. It is the speed baseline the
+// noc_mesh rows compare against: store-and-forward deque routers, per-cycle
+// std::optional<Flit> grant arrays, and coordinate math recomputed from node
+// indices every hop. Do not optimize it — its whole job is to stay what the
+// simulator used to be.
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "noc/traffic.hpp"
+#include "streams/word_stream.hpp"
+
+namespace tsvcod::bench_legacy {
+
+using noc::Direction;
+using noc::Flit;
+using noc::kPortCount;
+using noc::Mesh3D;
+using noc::NodeId;
+using noc::TrafficConfig;
+using noc::TrafficGenerator;
+
+class LegacyRouter {
+ public:
+  explicit LegacyRouter(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+
+  void accept(Direction port, Flit flit) {
+    in_[static_cast<std::size_t>(port)].push_back(std::move(flit));
+  }
+
+  std::size_t queued() const {
+    std::size_t total = 0;
+    for (const auto& q : in_) total += q.size();
+    return total;
+  }
+
+  void arbitrate(const Mesh3D& mesh, std::array<std::optional<Flit>, kPortCount>& out) {
+    for (auto& o : out) o.reset();
+    for (int out_port = 0; out_port < kPortCount; ++out_port) {
+      const int start = rr_[static_cast<std::size_t>(out_port)];
+      for (int k = 0; k < kPortCount; ++k) {
+        const int in_port = (start + k) % kPortCount;
+        auto& q = in_[static_cast<std::size_t>(in_port)];
+        if (q.empty()) continue;
+        const Direction want = mesh.route(id_, q.front().dst);
+        if (static_cast<int>(want) != out_port) continue;
+        out[static_cast<std::size_t>(out_port)] = std::move(q.front());
+        q.pop_front();
+        rr_[static_cast<std::size_t>(out_port)] = (in_port + 1) % kPortCount;
+        break;
+      }
+    }
+  }
+
+ private:
+  NodeId id_;
+  std::array<std::deque<Flit>, kPortCount> in_;
+  std::array<int, kPortCount> rr_{};
+};
+
+struct LegacyStats {
+  std::size_t injected = 0;
+  std::size_t delivered = 0;
+  double mean_latency = 0.0;
+  std::size_t max_queued = 0;
+};
+
+class LegacySimulator {
+ public:
+  LegacySimulator(const Mesh3D& mesh, const TrafficConfig& traffic)
+      : mesh_(mesh), traffic_(mesh, traffic), flit_width_(traffic.flit_width) {
+    routers_.reserve(mesh.node_count());
+    for (std::size_t i = 0; i < mesh.node_count(); ++i) routers_.emplace_back(mesh.node(i));
+    const std::size_t links = mesh.node_count() * static_cast<std::size_t>(kPortCount);
+    link_flits_.assign(links, 0);
+    link_toggles_.assign(links, 0);
+    link_last_word_.assign(links, 0);
+  }
+
+  LegacyStats run(std::size_t cycles) {
+    std::array<std::optional<Flit>, kPortCount> granted;
+    for (std::size_t c = 0; c < cycles; ++c, ++cycle_) {
+      for (auto& r : routers_) {
+        if (auto flit = traffic_.generate(r.id(), cycle_)) {
+          r.accept(Direction::Local, std::move(*flit));
+          ++injected_;
+        }
+      }
+      std::vector<std::pair<std::size_t, std::array<std::optional<Flit>, kPortCount>>> moves;
+      moves.reserve(routers_.size());
+      for (std::size_t i = 0; i < routers_.size(); ++i) {
+        routers_[i].arbitrate(mesh_, granted);
+        moves.emplace_back(i, granted);
+      }
+      for (auto& [i, outs] : moves) {
+        const NodeId from = mesh_.node(i);
+        for (int port = 0; port < kPortCount; ++port) {
+          auto& flit = outs[static_cast<std::size_t>(port)];
+          if (!flit) continue;
+          const auto dir = static_cast<Direction>(port);
+          if (dir == Direction::Local) {
+            ++delivered_;
+            latency_sum_ += static_cast<double>(cycle_ - flit->injected_at + 1);
+            continue;
+          }
+          const std::size_t link =
+              i * static_cast<std::size_t>(kPortCount) + static_cast<std::size_t>(port);
+          const std::uint64_t word = flit->payload & streams::width_mask(flit_width_);
+          ++link_flits_[link];
+          link_toggles_[link] += static_cast<std::uint64_t>(std::popcount(link_last_word_[link] ^ word));
+          link_last_word_[link] = word;
+          const auto to = mesh_.neighbor(from, dir);
+          routers_[mesh_.index(*to)].accept(dir, std::move(*flit));
+        }
+      }
+      for (const auto& r : routers_) max_queued_ = std::max(max_queued_, r.queued());
+    }
+
+    LegacyStats s;
+    s.injected = injected_;
+    s.delivered = delivered_;
+    s.mean_latency = delivered_ > 0 ? latency_sum_ / static_cast<double>(delivered_) : 0.0;
+    s.max_queued = max_queued_;
+    return s;
+  }
+
+ private:
+  const Mesh3D& mesh_;
+  TrafficGenerator traffic_;
+  std::vector<LegacyRouter> routers_;
+  std::size_t flit_width_;
+  std::size_t cycle_ = 0;
+
+  std::size_t injected_ = 0;
+  std::size_t delivered_ = 0;
+  double latency_sum_ = 0.0;
+  std::size_t max_queued_ = 0;
+
+  std::vector<std::uint64_t> link_flits_;
+  std::vector<std::uint64_t> link_toggles_;
+  std::vector<std::uint64_t> link_last_word_;
+};
+
+}  // namespace tsvcod::bench_legacy

@@ -18,6 +18,7 @@
 #include "core/power.hpp"
 #include "field/grid.hpp"
 #include "field/solver.hpp"
+#include "noc/simulator.hpp"
 #include "stats/switching_stats.hpp"
 #include "streams/binary_trace.hpp"
 #include "streams/trace_io.hpp"
@@ -917,6 +918,148 @@ std::string describe_bin_case(const BinCase& bc) {
   return os.str();
 }
 
+// --- noc_coded ------------------------------------------------------------
+// Coding on the vertical TSV links must be invisible to the fabric: the
+// receiver decodes before the flit re-enters a ring, so the delivery stream
+// (payloads and latencies, folded into the ejection digest) and the link
+// utilization are byte-identical with and without coding, for every codec
+// family. On top of that the coded run must stay bit-identical across thread
+// counts, flits must be conserved, and bus-invert must honour its energy
+// contract (coded line toggles <= uncoded payload toggles per vertical link).
+
+struct NocCase {
+  std::size_t nx = 2, ny = 2, nz = 2;
+  noc::SpatialPattern pattern = noc::SpatialPattern::Uniform;
+  noc::PayloadModel payload = noc::PayloadModel::Random;
+  double rate = 0.3;
+  std::size_t flit_width = 16;
+  std::size_t cycles = 128;
+  std::uint64_t traffic_seed = 1;
+  std::string codec = "bus-invert";
+};
+
+NocCase gen_noc_case(Rng& rng) {
+  static const char* kCodecs[] = {"gray",           "correlator", "bus-invert",
+                                  "coupling-invert", "t0",         "fibonacci"};
+  static const noc::SpatialPattern kPatterns[] = {
+      noc::SpatialPattern::Uniform, noc::SpatialPattern::Hotspot,
+      noc::SpatialPattern::Transpose};
+  static const noc::PayloadModel kPayloads[] = {
+      noc::PayloadModel::Random, noc::PayloadModel::Dsp, noc::PayloadModel::Mems};
+  NocCase nc;
+  nc.nx = rng.range(1, 3);
+  nc.ny = rng.range(1, 3);
+  nc.nz = rng.range(2, 4);  // at least one vertical hop available
+  nc.pattern = kPatterns[rng.below(3)];
+  nc.payload = kPayloads[rng.below(3)];
+  nc.rate = rng.real(0.05, 1.0);
+  nc.flit_width = rng.range(4, 24);
+  nc.cycles = rng.range(32, 384);
+  nc.traffic_seed = rng.u64();
+  nc.codec = kCodecs[rng.below(std::size(kCodecs))];
+  return nc;
+}
+
+std::optional<std::string> check_noc_case(const NocCase& nc) {
+  noc::Mesh3D mesh(nc.nx, nc.ny, nc.nz);
+  noc::TrafficConfig cfg;
+  cfg.spatial = nc.pattern;
+  cfg.payload = nc.payload;
+  cfg.injection_rate = nc.rate;
+  cfg.flit_width = nc.flit_width;
+  cfg.seed = nc.traffic_seed;
+
+  noc::NocSimulator plain(mesh, cfg);
+  const noc::SimStats base = plain.run(nc.cycles);
+
+  noc::NocSimulator coded(mesh, cfg);
+  coded.attach_vertical_coding({.name = nc.codec});
+  const noc::SimStats cs = coded.run(nc.cycles);
+
+  if (base.injected != base.delivered + base.in_flight) {
+    return "uncoded run violates flit conservation";
+  }
+  if (cs.injected != cs.delivered + cs.in_flight) return "coded run violates flit conservation";
+  if (cs.ejection_digest != base.ejection_digest) {
+    return "coded delivery stream differs from uncoded (digest mismatch: payloads or "
+           "latencies corrupted by the codec)";
+  }
+  if (cs.delivered != base.delivered || cs.injected != base.injected ||
+      cs.latency_cycles != base.latency_cycles) {
+    return "coding changed delivery counts or latency totals";
+  }
+  if (cs.link_flits != base.link_flits || cs.link_toggles != base.link_toggles) {
+    return "coding changed link utilization (payload-domain counters must not move)";
+  }
+
+  for (std::size_t i = 0; i < mesh.node_count(); ++i) {
+    for (int p = 0; p < noc::kPortCount; ++p) {
+      const auto d = static_cast<noc::Direction>(p);
+      const std::size_t slot = noc::link_slot(i, d);
+      const bool vertical =
+          noc::Mesh3D::is_vertical(d) && mesh.neighbor_index(i, d) != noc::Mesh3D::npos;
+      if (!vertical && cs.link_coded_toggles[slot] != 0) {
+        return "coded toggles recorded on a non-vertical slot " +
+               noc::link_name(noc::LinkId{mesh.node(i), d});
+      }
+      if (vertical && nc.codec == "bus-invert" &&
+          cs.link_coded_toggles[slot] > cs.link_toggles[slot]) {
+        return "bus-invert coded toggles exceed uncoded toggles on " +
+               noc::link_name(noc::LinkId{mesh.node(i), d});
+      }
+    }
+  }
+
+  // Thread-count invariance of the coded fabric.
+  noc::SimOptions two;
+  two.threads = 2;
+  noc::NocSimulator coded2(mesh, cfg, two);
+  coded2.attach_vertical_coding({.name = nc.codec});
+  if (!(coded2.run(nc.cycles) == cs)) {
+    return "coded run is not bit-identical at 2 threads";
+  }
+  return std::nullopt;
+}
+
+std::vector<NocCase> shrink_noc_case(const NocCase& nc) {
+  std::vector<NocCase> out;
+  if (nc.cycles > 32) {
+    NocCase c = nc;
+    c.cycles = std::max<std::size_t>(32, nc.cycles / 2);
+    out.push_back(c);
+  }
+  const auto dim = [&](std::size_t NocCase::* field, std::size_t floor_value) {
+    if (nc.*field > floor_value) {
+      NocCase c = nc;
+      c.*field = floor_value;
+      out.push_back(c);
+    }
+  };
+  dim(&NocCase::nx, 1);
+  dim(&NocCase::ny, 1);
+  dim(&NocCase::nz, 2);
+  if (nc.flit_width > 4) {
+    NocCase c = nc;
+    c.flit_width = 4;
+    out.push_back(c);
+  }
+  if (nc.payload != noc::PayloadModel::Random) {
+    NocCase c = nc;
+    c.payload = noc::PayloadModel::Random;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string describe_noc_case(const NocCase& nc) {
+  std::ostringstream os;
+  os << nc.nx << 'x' << nc.ny << 'x' << nc.nz << " mesh, pattern="
+     << static_cast<int>(nc.pattern) << " payload=" << static_cast<int>(nc.payload)
+     << " rate=" << nc.rate << " flit_width=" << nc.flit_width << " cycles=" << nc.cycles
+     << " codec=" << nc.codec << " seed=0x" << std::hex << nc.traffic_seed;
+  return os.str();
+}
+
 }  // namespace
 
 Report oracle_codec_roundtrip(const RunOptions& opt) {
@@ -949,6 +1092,11 @@ Report oracle_binary_roundtrip(const RunOptions& opt) {
                                  shrink_bin_case, describe_bin_case);
 }
 
+Report oracle_noc_coded(const RunOptions& opt) {
+  return check_property<NocCase>("noc_coded", opt, gen_noc_case, check_noc_case, shrink_noc_case,
+                                 describe_noc_case);
+}
+
 std::vector<Report> run_all_oracles(const RunOptions& opt) {
   const auto sub = [&](std::uint64_t salt, std::size_t iterations) {
     RunOptions s = opt;
@@ -964,6 +1112,9 @@ std::vector<Report> run_all_oracles(const RunOptions& opt) {
   out.push_back(oracle_field_consistency(sub(4, std::max<std::size_t>(2, opt.iterations / 10))));
   out.push_back(oracle_io_roundtrip(sub(5, opt.iterations)));
   out.push_back(oracle_binary_roundtrip(sub(6, opt.iterations)));
+  // Each NoC case runs three full simulations; a fifth of the budget keeps
+  // the wall-clock share comparable to the other oracles.
+  out.push_back(oracle_noc_coded(sub(7, std::max<std::size_t>(2, opt.iterations / 5))));
   return out;
 }
 

@@ -1,5 +1,5 @@
 #pragma once
-// The six differential oracles of the correctness harness.
+// The seven differential oracles of the correctness harness.
 //
 // Each oracle is an independent property run through check_property(): a
 // structured generator, a checker that compares two implementations of the
@@ -25,6 +25,14 @@
 //   binary_roundtrip  .tsvb save -> parse -> save byte identity, text/binary
 //                     pipeline equivalence, plus byte-mutation fuzzing of the
 //                     header and payload (same escape contract).
+//   noc_coded         a 3D-mesh NoC with per-vertical-link coding attached vs
+//                     the same mesh uncoded, across random codec families,
+//                     mesh shapes and traffic regimes: delivery streams must
+//                     be byte-identical (payloads AND latencies, via the
+//                     ejection digest), link utilization unchanged, flits
+//                     conserved, the coded run bit-identical at 1 vs 2
+//                     threads, and bus-invert's coded line toggles bounded by
+//                     the uncoded payload toggles on every vertical link.
 
 #include "check/check.hpp"
 
@@ -36,6 +44,7 @@ Report oracle_stats_reference(const RunOptions& opt);
 Report oracle_field_consistency(const RunOptions& opt);
 Report oracle_io_roundtrip(const RunOptions& opt);
 Report oracle_binary_roundtrip(const RunOptions& opt);
+Report oracle_noc_coded(const RunOptions& opt);
 
 /// Run every oracle with per-oracle iteration budgets scaled from
 /// `opt.iterations` (field solves are expensive, codec round-trips cheap).

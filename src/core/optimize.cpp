@@ -237,6 +237,29 @@ OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
   return {std::move(outcomes[best_chain].assignment), outcomes[best_chain].power, evaluations};
 }
 
+std::vector<OptimizeResult> optimize_assignments(std::span<const stats::SwitchingStats> bit_stats,
+                                                 const tsv::LinearCapacitanceModel& model,
+                                                 const OptimizeOptions& options, int threads) {
+  obs::Span span("opt.optimize_batch");
+  std::vector<OptimizeResult> out(bit_stats.size(),
+                                  OptimizeResult{SignedPermutation::identity(1), 0.0, 0});
+  opt::parallel_for(bit_stats.size(), threads, [&](std::size_t i) {
+    OptimizeOptions local = options;
+    // Independent seed stream per entry; chains run serially inside each
+    // entry so every core the batch gets goes to a *different* link.
+    local.seed = static_cast<unsigned>(opt::deterministic_seed(options.seed, i));
+    local.threads = 1;
+    out[i] = optimize_assignment(bit_stats[i], model, local);
+  });
+  if (obs::metrics_enabled()) {
+    obs::metric_add("opt.optimize_batch.count");
+    obs::metric_add("opt.optimize_batch.links_total", bit_stats.size());
+  }
+  if (span.traced()) span.set_args("\"links\":" + std::to_string(bit_stats.size()));
+  obs::profile_work("links", bit_stats.size());
+  return out;
+}
+
 OptimizeResult exhaustive_optimal(const stats::SwitchingStats& bit_stats,
                                   const tsv::LinearCapacitanceModel& model,
                                   const OptimizeOptions& options) {

@@ -7,6 +7,7 @@
 // and random-assignment baselines provide the comparison point the paper's
 // reductions are quoted against.
 
+#include <span>
 #include <vector>
 
 #include "core/assignment.hpp"
@@ -46,6 +47,18 @@ struct OptimizeResult {
 OptimizeResult optimize_assignment(const stats::SwitchingStats& bit_stats,
                                    const tsv::LinearCapacitanceModel& model,
                                    const OptimizeOptions& options = {});
+
+/// Batch search: one optimize_assignment per statistics entry (e.g. every
+/// vertical TSV bundle of a 3D mesh), parallelized over entries through the
+/// shared pool. Entry i runs with its own seed stream derived from
+/// (options.seed, i) and its chains serialized (the parallelism lives at the
+/// batch level), so the result vector is a pure function of (stats, model,
+/// options) — bit-identical at every `threads` value (the usual convention:
+/// 0 = TSVCOD_THREADS, else the given count).
+std::vector<OptimizeResult> optimize_assignments(std::span<const stats::SwitchingStats> bit_stats,
+                                                 const tsv::LinearCapacitanceModel& model,
+                                                 const OptimizeOptions& options = {},
+                                                 int threads = 0);
 
 /// Exhaustive ground truth: all n! permutations x all permitted inversion
 /// masks. Throws if the search space exceeds ~10^7 evaluations.

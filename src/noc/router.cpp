@@ -1,35 +1,98 @@
 #include "noc/router.hpp"
 
+#include <bit>
+
 namespace tsvcod::noc {
 
-void Router::accept(Direction port, Flit flit) {
-  in_[static_cast<std::size_t>(port)].push_back(std::move(flit));
+FlitRing::FlitRing(std::size_t capacity) : bound_(capacity), bounded_(capacity > 0) {}
+
+void FlitRing::grow() {
+  // Re-linearize into a fresh buffer twice the size (head back at 0).
+  const std::size_t old_cap = slots_.size();
+  const std::size_t new_cap = old_cap == 0 ? 8 : old_cap * 2;
+  std::vector<Slot> slots(new_cap);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t s = head_ + i < old_cap ? head_ + i : head_ + i - old_cap;
+    slots[i] = slots_[s];
+  }
+  slots_ = std::move(slots);
+  head_ = 0;
+}
+
+bool FlitRing::push(const PackedFlit& flit, std::uint8_t out_port) {
+  if (bounded_ && count_ == bound_) return false;
+  if (count_ == slots_.size()) grow();
+  std::size_t tail = head_ + count_;
+  if (tail >= slots_.size()) tail -= slots_.size();
+  slots_[tail].flit = flit;
+  slots_[tail].out = out_port;
+  ++count_;
+  return true;
+}
+
+PackedFlit FlitRing::pop() {
+  const PackedFlit f = slots_[head_].flit;
+  --count_;
+  if (++head_ == slots_.size()) head_ = 0;
+  return f;
+}
+
+Router::Router(std::size_t queue_capacity) {
+  for (auto& ring : in_) ring = FlitRing(queue_capacity);
+}
+
+bool Router::accept(Direction port, const PackedFlit& flit, Direction out_port) {
+  const auto p = static_cast<std::size_t>(port);
+  if (!in_[p].push(flit, static_cast<std::uint8_t>(out_port))) return false;
+  occupied_ |= static_cast<std::uint8_t>(1u << p);
+  return true;
 }
 
 std::size_t Router::queued() const {
   std::size_t total = 0;
-  for (const auto& q : in_) total += q.size();
+  for (const auto& ring : in_) total += ring.size();
   return total;
 }
 
-void Router::arbitrate(const Mesh3D& mesh, std::array<std::optional<Flit>, kPortCount>& out) {
-  for (auto& o : out) o.reset();
-  // For each output port, scan the input ports round-robin and grant the
-  // first whose head flit routes through it.
-  for (int out_port = 0; out_port < kPortCount; ++out_port) {
-    const int start = rr_[static_cast<std::size_t>(out_port)];
+std::uint8_t Router::arbitrate(std::uint8_t blocked_mask, PackedFlit grants[kPortCount],
+                               std::uint64_t& stalled) {
+  if (occupied_ == 0) return 0;
+  std::uint8_t granted = 0;
+  // Head output-port tags, gathered once per cycle; `wanted` marks the
+  // outputs some head actually contends for, so the grant loop only visits
+  // those instead of scanning all seven.
+  std::uint8_t head_out[kPortCount];
+  std::uint8_t wanted = 0;
+  for (std::uint8_t occ = occupied_; occ != 0; occ &= static_cast<std::uint8_t>(occ - 1)) {
+    const int p = std::countr_zero(occ);
+    head_out[p] = in_[p].head_out();
+    wanted |= static_cast<std::uint8_t>(1u << head_out[p]);
+  }
+  for (std::uint8_t w = wanted; w != 0; w &= static_cast<std::uint8_t>(w - 1)) {
+    const int out = std::countr_zero(w);
+    if (blocked_mask & (1u << out)) {
+      // A flit is ready but the downstream register has not been drained:
+      // back-pressure stall, one per blocked output per cycle.
+      ++stalled;
+      continue;
+    }
+    const int start = rr_[out];
+    int winner = -1;
     for (int k = 0; k < kPortCount; ++k) {
-      const int in_port = (start + k) % kPortCount;
-      auto& q = in_[static_cast<std::size_t>(in_port)];
-      if (q.empty()) continue;
-      const Direction want = mesh.route(id_, q.front().dst);
-      if (static_cast<int>(want) != out_port) continue;
-      out[static_cast<std::size_t>(out_port)] = std::move(q.front());
-      q.pop_front();
-      rr_[static_cast<std::size_t>(out_port)] = (in_port + 1) % kPortCount;
+      const int p = start + k < kPortCount ? start + k : start + k - kPortCount;
+      if (!(occupied_ & (1u << p)) || head_out[p] != out) continue;
+      winner = p;
       break;
     }
+    if (winner < 0) continue;  // the only contender was granted to another output
+    grants[out] = in_[static_cast<std::size_t>(winner)].pop();
+    if (in_[static_cast<std::size_t>(winner)].empty()) {
+      occupied_ &= static_cast<std::uint8_t>(~(1u << winner));
+    }
+    rr_[out] = static_cast<std::uint8_t>(winner + 1 == kPortCount ? 0 : winner + 1);
+    granted |= static_cast<std::uint8_t>(1u << out);
   }
+  return granted;
 }
 
 }  // namespace tsvcod::noc

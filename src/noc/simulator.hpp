@@ -1,27 +1,71 @@
 #pragma once
-// Cycle-driven 3D-NoC simulator with per-link trace capture.
+// Batched, parallel cycle kernel for the 3D-mesh NoC.
 //
-// Each cycle: every node may inject one flit (traffic generator), every
-// router grants at most one flit per output link, granted flits arrive at
-// the neighbour's matching input port in the next cycle, and ejected flits
-// are retired with their latency. A LinkProbe records the word physically
-// present on a chosen link each cycle: the transmitted flit payload plus a
-// valid line, with the data lines *holding their last value* during idle
-// cycles (what a real latched link does, and exactly the statistics the
-// bit-to-TSV optimizer needs).
+// Each cycle runs in two phases with a barrier between them:
+//
+//   arbitrate — every router grants at most one flit per output port
+//               (round-robin over contending inputs) and writes winners into
+//               per-link transfer registers; per-link flit/toggle counters
+//               and the coded-line encode happen here, on the sender's side.
+//   transfer  — every router drains the registers pointing *at* it into its
+//               input rings (decoding coded vertical links), retires flits
+//               that arrived (latency, ejection digest), injects new traffic
+//               from its own generator state, and tracks occupancy.
+//
+// Every register slot has exactly one writer (the sender, in phase A) and
+// one reader (the receiver, in phase B), and every router's rings, counters
+// and traffic state are touched only by the rank that owns the router — so
+// the mesh can be partitioned into contiguous Z-slabs (node indices are
+// z-major) and simulated by a team of worker ranks with two SpinBarrier
+// waits per cycle. All shared counters are exact integers reduced in router
+// index order, and traffic is a pure function of (config, node, cycle), so
+// SimStats is bit-identical at every thread count, including 1.
+//
+// A bounded `queue_capacity` turns on back-pressure: full input rings leave
+// the transfer register occupied, the sender's arbitration stalls (counted
+// in SimStats::stalled_cycles), and injection blocks at the source instead
+// of growing queues without bound — saturation becomes measurable.
+//
+// Vertical (±z) links are TSV bundles: an optional core::CodedLink per
+// vertical link (independently optimized assignments — see noc/coded.hpp)
+// encodes every payload crossing it, with exact coded-line toggle counters
+// next to the uncoded ones, and optional per-link switching-statistics
+// accumulators feed the bit-to-TSV optimizer for *every* bundle instead of
+// one probed link.
+//
+// A LinkProbe records the word physically present on a chosen link each
+// cycle: the transmitted flit payload plus a valid line, with the data lines
+// *holding their last value* during idle cycles (what a real latched link
+// does, and exactly the statistics the bit-to-TSV optimizer needs).
 
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "coding/factory.hpp"
+#include "core/coded_link.hpp"
 #include "noc/router.hpp"
 #include "noc/traffic.hpp"
+#include "stats/bitplane.hpp"
 
 namespace tsvcod::noc {
 
 struct SimStats {
   std::size_t injected = 0;
   std::size_t delivered = 0;
-  double mean_latency = 0.0;       ///< cycles, delivered flits
-  std::size_t max_queued = 0;      ///< worst router occupancy seen
+  double mean_latency = 0.0;          ///< cycles, delivered flits
+  std::uint64_t latency_cycles = 0;   ///< exact integer latency sum
+  std::size_t max_queued = 0;         ///< worst router occupancy seen
+  /// Cycles x ports a ready flit (or injection) could not move because the
+  /// downstream buffer was full. Always 0 with unbounded queues.
+  std::uint64_t stalled_cycles = 0;
+  /// Flits still in the fabric (rings + transfer registers + pending
+  /// injections) when the run ended: injected == delivered + in_flight.
+  std::size_t in_flight = 0;
+  /// Order-exact digest of every ejection (payload, latency) stream, folded
+  /// over routers in index order: two simulations delivered byte-identical
+  /// payloads with identical latencies iff the digests match.
+  std::uint64_t ejection_digest = 0;
   std::size_t probe_busy_cycles = 0;  ///< cycles the probed link carried a flit
   /// Flits transferred per inter-router link, indexed node*kPortCount+port
   /// (Local ports stay zero). Cumulative across run() calls.
@@ -29,17 +73,52 @@ struct SimStats {
   /// Payload bit toggles per link (hamming distance between consecutive
   /// transferred flits; the data lines latch, so idle cycles add nothing).
   std::vector<std::uint64_t> link_toggles;
+  /// Coded-line toggles per link: transitions of the physical (encoded)
+  /// line word on vertical links with an attached CodedLink; zero elsewhere.
+  std::vector<std::uint64_t> link_coded_toggles;
   /// Bit toggles on the probed link's physical lines (payload + valid), i.e.
   /// the switching activity the bit-to-TSV optimizer prices.
   std::uint64_t probe_toggled_bits = 0;
+
+  bool operator==(const SimStats&) const = default;
+};
+
+struct SimOptions {
+  /// Worker ranks for the cycle kernel. 0 = the TSVCOD_THREADS convention;
+  /// 1 (default) = serial. Results are bit-identical at every value.
+  int threads = 1;
+  /// Per-input-port queue capacity; 0 = unbounded (queues grow).
+  std::size_t queue_capacity = 0;
+  /// Maintain an exact switching-statistics accumulator per vertical link
+  /// (latched line words, one sample per cycle) — the input the per-link
+  /// assignment optimizer needs. Costs roughly as much as the simulation
+  /// itself; leave off for pure throughput runs.
+  bool track_vertical_stats = false;
+  /// Emit obs counter tracks (per-slab vertical flits/toggles/coded toggles,
+  /// cycle-indexed timestamps) every N cycles while tracing; 0 = off.
+  std::size_t counter_sample_cycles = 0;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 class NocSimulator {
  public:
-  NocSimulator(const Mesh3D& mesh, const TrafficConfig& traffic);
+  NocSimulator(const Mesh3D& mesh, const TrafficConfig& traffic, SimOptions options = {});
 
   /// Record the words on this link (flit width + 1 valid line as MSB).
+  /// Throws std::invalid_argument naming the link if it is not in the mesh.
   void probe_link(LinkId link);
+
+  /// Attach a CodedLink to every vertical link: flits crossing a TSV bundle
+  /// are encoded by `spec`'s codec, carried as line words, and decoded on
+  /// arrival (payloads delivered to the cores are bit-identical to the
+  /// uncoded mesh — the noc_coded oracle's property). `assignments` must be
+  /// aligned with vertical_links(mesh) (one optimized signed permutation
+  /// per bundle) or empty for identity assignments. Must be called before
+  /// the first run().
+  void attach_vertical_coding(const coding::CodecSpec& spec,
+                              std::span<const core::SignedPermutation> assignments = {});
 
   /// Run `cycles` cycles; keeps injecting throughout.
   SimStats run(std::size_t cycles);
@@ -48,31 +127,102 @@ class NocSimulator {
   const std::vector<std::uint64_t>& probe_trace() const { return trace_; }
   std::size_t probe_width() const { return flit_width_ + 1; }
 
+  /// Flits currently inside the fabric (rings + registers + pending).
+  std::size_t in_flight() const;
+
+  /// The vertical links, in the order vertical_link_stats() and
+  /// attach_vertical_coding() use (vertical_links(mesh)).
+  const std::vector<LinkId>& coded_links() const { return vlinks_; }
+
+  /// Width of the physical line word on vertical links: the codec output
+  /// width when coding is attached, the flit width otherwise.
+  std::size_t vertical_line_width() const { return line_width_; }
+
+  /// Exact per-vertical-link switching statistics accumulated so far, one
+  /// entry per coded_links() element. Requires track_vertical_stats and at
+  /// least two simulated cycles.
+  std::vector<stats::SwitchingStats> vertical_link_stats() const;
+
  private:
+  void phase_arbitrate(std::size_t begin, std::size_t end, std::size_t cycle);
+  void phase_transfer(std::size_t begin, std::size_t end, std::size_t cycle);
+  void sample_counters(int rank, std::size_t begin, std::size_t end, std::size_t cycle) const;
+
+  /// XYZ dimension-order routing on the precomputed coordinate tables —
+  /// same function as Mesh3D::route_index, minus the per-call div/mod.
+  Direction route_of(std::size_t at, std::uint32_t dst) const {
+    if (cx_[at] != cx_[dst]) return cx_[at] < cx_[dst] ? Direction::XPlus : Direction::XMinus;
+    if (cy_[at] != cy_[dst]) return cy_[at] < cy_[dst] ? Direction::YPlus : Direction::YMinus;
+    if (cz_[at] != cz_[dst]) return cz_[at] < cz_[dst] ? Direction::ZPlus : Direction::ZMinus;
+    return Direction::Local;
+  }
+
   const Mesh3D& mesh_;
   TrafficConfig traffic_config_;
+  SimOptions options_;
   TrafficGenerator traffic_;
   std::vector<Router> routers_;
   std::size_t flit_width_;
+  std::size_t line_width_;
   std::size_t cycle_ = 0;
+
+  // Hot-loop lookup tables, built once: neighbour index per (node, direction)
+  // (npos32 where the mesh ends) and the unpacked node coordinates. The cycle
+  // kernel touches these every router-cycle; recomputing them from the index
+  // (div/mod) dominated the per-cycle cost before they were cached.
+  static constexpr std::uint32_t npos32 = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> nbr_;  ///< node * 6 + direction
+  std::vector<std::uint16_t> cx_, cy_, cz_;
+
+  // Flat mirrors of per-router ring state, maintained by the owning rank:
+  // occ_[r] mirrors Router::occupied_mask() and q_[r] the total ring
+  // occupancy. Idle routers are the common case, and checking a byte in a
+  // contiguous array avoids pulling the (much larger) Router object into
+  // cache every cycle just to discover there is nothing to do.
+  std::vector<std::uint8_t> occ_;
+  std::vector<std::uint32_t> q_;
+
+  // Transfer registers, receiver-indexed: slot node*kPortCount+d holds the
+  // flit moving in direction d into that node (Local = ejection register).
+  std::vector<std::uint8_t> reg_valid_;
+  std::vector<std::uint64_t> reg_payload_;
+  std::vector<std::uint32_t> reg_dst_;
+  std::vector<std::uint32_t> reg_injected_;
+  std::vector<std::uint64_t> reg_line_;  ///< encoded line word (coded links)
+
+  // Per-link activity, sender-indexed node*kPortCount+port (see SimStats).
+  std::vector<std::uint64_t> link_flits_;
+  std::vector<std::uint64_t> link_toggles_;
+  std::vector<std::uint64_t> link_coded_toggles_;
+  std::vector<std::uint64_t> link_last_word_;  ///< latched payload lines
+  std::vector<std::uint64_t> link_last_line_;  ///< latched coded lines
+
+  // Vertical-link coding and statistics, aligned with vlinks_.
+  std::vector<LinkId> vlinks_;
+  std::vector<std::unique_ptr<core::CodedLink>> coded_;  ///< sender slot -> link
+  std::vector<std::uint32_t> vstat_of_slot_;             ///< sender slot -> vstats_ index
+  mutable std::vector<stats::BitplaneAccumulator> vstats_;
+  bool coded_attached_ = false;
+
+  // Per-router counters (disjoint writes; reduced in index order).
+  std::vector<std::uint64_t> injected_;
+  std::vector<std::uint64_t> delivered_;
+  std::vector<std::uint64_t> latency_;
+  std::vector<std::uint64_t> stalls_;
+  std::vector<std::uint64_t> digest_;
+  std::vector<std::uint32_t> max_queued_;
+  std::vector<std::uint8_t> pending_valid_;  ///< injection waiting for queue space
+  std::vector<PackedFlit> pending_;
 
   bool probing_ = false;
   LinkId probe_{};
+  std::size_t probe_router_ = 0;
+  std::size_t probe_slot_ = 0;
   std::vector<std::uint64_t> trace_;
   std::uint64_t held_word_ = 0;  ///< data lines hold their last value when idle
-
-  std::size_t injected_ = 0;
-  std::size_t delivered_ = 0;
-  double latency_sum_ = 0.0;
-  std::size_t max_queued_ = 0;
-  std::size_t probe_busy_ = 0;
-
-  // Per-link activity, indexed node*kPortCount+port (see SimStats).
-  std::vector<std::uint64_t> link_flits_;
-  std::vector<std::uint64_t> link_toggles_;
-  std::vector<std::uint64_t> link_last_word_;
   std::uint64_t probe_toggles_ = 0;
-  std::uint64_t probe_last_lines_ = 0;  ///< previous cycle's probe word incl. valid
+  std::uint64_t probe_last_lines_ = 0;
+  std::size_t probe_busy_ = 0;
 };
 
 }  // namespace tsvcod::noc

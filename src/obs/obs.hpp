@@ -171,6 +171,11 @@ void instant(const char* name, std::string args_body = {});
 void counter(const char* name, double value);
 void counter(const std::string& name, double value);
 
+/// Counter-track sample with an explicit timestamp (µs). Simulators use this
+/// to plot counters on a *simulated-time* axis (e.g. one µs per NoC cycle)
+/// instead of wall-clock time.
+void counter_at(const std::string& name, double value, std::int64_t ts_us);
+
 /// Merge every thread's buffer into one Chrome trace JSON document. Must be
 /// called from a quiescent point; events of spans still open are not
 /// included.

@@ -285,9 +285,14 @@ void counter(const char* name, double value) {
 
 void counter(const std::string& name, double value) {
   if (!trace_enabled()) return;
+  counter_at(name, value, now_us());
+}
+
+void counter_at(const std::string& name, double value, std::int64_t ts_us) {
+  if (!trace_enabled()) return;
   Event ev;
   ev.name = name;
-  ev.ts_us = now_us();
+  ev.ts_us = ts_us;
   ev.value = value;
   ev.ph = 'C';
   push_event(std::move(ev));

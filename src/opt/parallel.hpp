@@ -225,4 +225,102 @@ void parallel_for(std::size_t n, int threads, Fn&& fn) {
   if (state->error) std::rethrow_exception(state->error);
 }
 
+/// Lightweight sense-reversing barrier for phase-synchronous kernels (the
+/// NoC mesh engine's arbitrate/transfer cycle). Spins briefly, then yields:
+/// on an oversubscribed host (ranks > hardware threads) long spinning would
+/// burn the scheduler quantum the *other* ranks need, so the spin budget
+/// collapses to zero there. Synchronization: every arrival is an acq_rel RMW
+/// on `arrived_` and the release of `phase_` by the last arriver forms a
+/// release sequence through those RMWs, so writes made by any rank before
+/// wait() are visible to every rank after it returns.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants, bool spin = true)
+      : n_(participants), spin_(spin && participants <= hardware_threads()) {}
+
+  void wait() {
+    const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        static_cast<std::uint64_t>(n_)) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      if (!spin_ || ++spins > 4096) std::this_thread::yield();
+    }
+  }
+
+ private:
+  const int n_;
+  const bool spin_;
+  std::atomic<std::uint64_t> arrived_{0};
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+/// Run `fn(rank)` for ranks 0..k-1 concurrently: ranks 1..k-1 on the shared
+/// pool, rank 0 on the caller. Unlike `parallel_for`'s dynamic work handout,
+/// every rank is *resident* for the whole call — the shape long-running
+/// phase-synchronous kernels need (the ranks synchronize among themselves,
+/// e.g. with SpinBarrier). Resident jobs must not wait on jobs that are
+/// still queued behind them, so only one team can be in flight at a time: a
+/// process-wide mutex serializes teams (concurrent callers block, they do
+/// not deadlock), and short-lived parallel_for jobs interleave freely before
+/// or after. `fn` must synchronize its own ranks; if a rank throws, the rank
+/// stops participating — kernels that barrier internally must catch their
+/// own exceptions and keep arriving (see the NoC engine's abort flag).
+/// The first exception is rethrown on the caller after every rank returned.
+template <typename Fn>
+void parallel_team(int k, Fn&& fn) {
+  if (k <= 1) {
+    fn(0);
+    return;
+  }
+  static std::mutex team_mu;
+  std::lock_guard<std::mutex> team_lk(team_mu);
+
+  struct State {
+    int pending = 0;  // guarded by mu
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;  // first failure (guarded by mu)
+  };
+  auto state = std::make_shared<State>();
+  state->pending = k - 1;
+
+  auto& pool = ThreadPool::shared();
+  pool.ensure_workers(k - 1);
+  const obs::ProfileToken profile_parent = obs::profile_current();
+  for (int rank = 1; rank < k; ++rank) {
+    // `fn` is captured by reference: this frame blocks until every rank has
+    // finished, so the reference outlives all jobs.
+    pool.submit([state, rank, profile_parent, &fn] {
+      obs::ProfileTaskScope profile_scope(profile_parent);
+      try {
+        fn(rank);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lk(state->mu);
+        --state->pending;
+      }
+      state->done.notify_all();
+    });
+  }
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(state->mu);
+    if (!state->error) state->error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(state->mu);
+    state->done.wait(lk, [&] { return state->pending == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
 }  // namespace tsvcod::opt

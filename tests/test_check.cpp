@@ -1,4 +1,4 @@
-// The differential correctness harness: runs the five oracles (ctest label
+// The differential correctness harness: runs the oracles (ctest label
 // `check`) and unit-tests the harness machinery itself — PRNG stability,
 // replay-seed reproduction, shrinker minimization, iteration scaling.
 #include <gtest/gtest.h>
@@ -30,7 +30,7 @@ void expect_ok(const Report& r) {
   EXPECT_GE(r.iterations_run, 1u);
 }
 
-// --- The five oracles -------------------------------------------------------
+// --- The oracles ------------------------------------------------------------
 
 TEST(Oracles, CodecRoundtrip) { expect_ok(check::oracle_codec_roundtrip(opts_with(60))); }
 
@@ -41,6 +41,8 @@ TEST(Oracles, StatsReference) { expect_ok(check::oracle_stats_reference(opts_wit
 TEST(Oracles, FieldConsistency) { expect_ok(check::oracle_field_consistency(opts_with(4))); }
 
 TEST(Oracles, IoRoundtrip) { expect_ok(check::oracle_io_roundtrip(opts_with(60))); }
+
+TEST(Oracles, NocCoded) { expect_ok(check::oracle_noc_coded(opts_with(12))); }
 
 // --- Harness machinery ------------------------------------------------------
 
